@@ -1,0 +1,110 @@
+"""E1 — Table 2 row 1 / Theorem 3.1: DurableTriangle scaling.
+
+Claims under test:
+
+* query time grows near-linearly in ``n`` when OUT ∝ n (constant
+  density workload) — the ``Õ(n·ε^{-O(ρ)} + OUT)`` bound;
+* the index beats the comparators whose cost ignores the durable output
+  size: brute-force node-iterator, explicit-graph ``m^{3/2}`` listing,
+  and the durable-join baseline (all exact, all super-linear).
+"""
+
+import pytest
+
+from repro.baselines import (
+    brute_force_triangles,
+    durable_join_triangles,
+    explicit_graph_triangles,
+)
+
+from helpers import EPSILON, TAU, triangle_index, workload
+
+SIZES = [400, 800, 1600, 3200]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_ours_scaling(benchmark, n):
+    idx = triangle_index(n)
+    result = benchmark.pedantic(idx.query, args=(TAU,), rounds=3, iterations=1)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["out"] = len(result)
+    benchmark.group = "E1 ours: n sweep"
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_build_scaling(benchmark, n):
+    from repro import DurableTriangleIndex
+
+    tps = workload(n)
+    benchmark.pedantic(
+        lambda: DurableTriangleIndex(tps, epsilon=EPSILON), rounds=3, iterations=1
+    )
+    benchmark.extra_info["n"] = n
+    benchmark.group = "E1 ours: index build"
+
+
+@pytest.mark.parametrize("n", [800, 3200])
+@pytest.mark.parametrize(
+    "name,fn",
+    [
+        ("ours", None),
+        ("brute-force", brute_force_triangles),
+        ("explicit-graph", explicit_graph_triangles),
+        ("durable-join", durable_join_triangles),
+    ],
+)
+def test_vs_baselines(benchmark, n, name, fn):
+    tps = workload(n)
+    if name == "ours":
+        idx = triangle_index(n)
+        fn = lambda tps, tau: idx.query(tau)
+    result = benchmark.pedantic(fn, args=(tps, TAU), rounds=3, iterations=1)
+    benchmark.extra_info["algorithm"] = name
+    benchmark.extra_info["out"] = len(result)
+    benchmark.group = f"E1 vs baselines, sparse (n={n})"
+
+
+def _dense_workload():
+    """Section 1.2's hard regime: dense proximity neighbourhoods.
+
+    Four tight communities make the explicit edge set (and its static
+    triangle count) quadratic/cubic in the community size, while a
+    selective τ keeps the durable output tiny — exactly where implicit
+    output-sensitive reporting should dominate graph materialisation.
+    """
+    import numpy as np
+
+    from repro import TemporalPointSet
+    from repro.datasets import clustered_points, uniform_lifespans
+
+    pts = clustered_points(
+        600, n_clusters=4, box=20.0, cluster_std=0.25, seed=3
+    )
+    starts, ends = uniform_lifespans(600, horizon=60, max_len=20, seed=3)
+    return TemporalPointSet(pts, starts, ends)
+
+
+DENSE_TAU = 18.0
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["ours", "brute-force", "explicit-graph", "durable-join"],
+)
+def test_dense_clusters(benchmark, name):
+    from repro import DurableTriangleIndex
+
+    tps = _dense_workload()
+    if name == "ours":
+        idx = DurableTriangleIndex(tps, epsilon=EPSILON)
+        fn = lambda: idx.query(DENSE_TAU)
+    elif name == "brute-force":
+        fn = lambda: brute_force_triangles(tps, DENSE_TAU)
+    elif name == "explicit-graph":
+        fn = lambda: explicit_graph_triangles(tps, DENSE_TAU)
+    else:
+        fn = lambda: durable_join_triangles(tps, DENSE_TAU)
+    result = benchmark.pedantic(fn, rounds=3, iterations=1)
+    benchmark.extra_info["algorithm"] = name
+    benchmark.extra_info["out"] = len(result)
+    benchmark.group = "E1 vs baselines, dense clusters (n=600, selective tau)"

@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Render the benchmark JSON into the EXPERIMENTS.md evidence table.
+
+Usage: python benchmarks/summarize.py [bench_results.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import defaultdict
+
+
+def main(path: str = "bench_results.json") -> None:
+    data = json.load(open(path))
+    groups = defaultdict(list)
+    for bench in data["benchmarks"]:
+        groups[bench["group"] or "(ungrouped)"].append(bench)
+    for group in sorted(groups):
+        print(f"\n### {group}")
+        rows = sorted(groups[group], key=lambda b: b["stats"]["mean"])
+        for b in rows:
+            mean_ms = b["stats"]["mean"] * 1000
+            extra = ", ".join(
+                f"{k}={v}" for k, v in sorted(b.get("extra_info", {}).items())
+            )
+            name = b["name"].split("[")[0] + (
+                "[" + b["name"].split("[", 1)[1] if "[" in b["name"] else ""
+            )
+            print(f"  {name:58s} {mean_ms:10.1f} ms   {extra}")
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:])

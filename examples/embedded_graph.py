@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""The full paper pipeline: explicit graph → embedding → durable patterns.
+
+The paper assumes the input graph is (or embeds as) a proximity graph.
+This example starts from an explicit social graph (networkx), embeds it
+with landmark MDS preserving shortest-path structure (the [50]-style
+assumption of Section 1), attaches session lifespans, and mines durable
+triangles — comparing against mining the explicit graph directly.
+
+Requires the ``analysis`` extra (networkx + scipy).
+
+Run:  python examples/embedded_graph.py
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro import DurableTriangleIndex, TemporalPointSet
+from repro.baselines import brute_force_triangle_keys
+from repro.geometry.embedding import embed_graph
+
+
+def main() -> None:
+    # A community-structured social graph.
+    graph = nx.relaxed_caveman_graph(8, 10, p=0.08, seed=4)
+    n = graph.number_of_nodes()
+    print(
+        f"input graph: {n} vertices, {graph.number_of_edges()} edges, "
+        f"{sum(nx.triangles(graph).values()) // 3} static triangles"
+    )
+
+    # Embed so that ~90% of graph edges land inside the unit ball.
+    points, scale = embed_graph(graph, dim=4, n_landmarks=32, seed=0)
+    print(f"embedded into R^4 (edge-length scale {scale:.3f})")
+
+    rng = np.random.default_rng(1)
+    starts = rng.uniform(0.0, 40.0, size=n)
+    ends = starts + rng.uniform(2.0, 30.0, size=n)
+    tps = TemporalPointSet(points, starts, ends, metric="l2")
+
+    tau, epsilon = 8.0, 0.5
+    index = DurableTriangleIndex(tps, epsilon=epsilon)
+    reported = index.query(tau)
+    print(f"\nτ = {tau}: {len(reported)} durable triangles in the embedding")
+
+    # How faithful is the embedded answer to the *graph* answer?  Count
+    # durable graph triangles (graph adjacency + lifespans) directly.
+    durable_graph_triangles = set()
+    for a, b in graph.edges():
+        for c in nx.common_neighbors(graph, a, b):
+            if c > b and b > a:
+                lo = max(starts[a], starts[b], starts[c])
+                hi = min(ends[a], ends[b], ends[c])
+                if hi - lo >= tau:
+                    durable_graph_triangles.add((a, b, c))
+    embedded_keys = {r.key for r in reported}
+    inter = len(durable_graph_triangles & embedded_keys)
+    prec = inter / len(embedded_keys) if embedded_keys else 1.0
+    rec = inter / len(durable_graph_triangles) if durable_graph_triangles else 1.0
+    print(
+        f"vs. the explicit graph: {len(durable_graph_triangles)} durable "
+        f"graph triangles; embedding recall {rec:.0%}, precision {prec:.0%}"
+    )
+    print(
+        "(the embedding is approximate — exactly the regime the paper "
+        "targets; guarantees are stated w.r.t. the embedded metric)"
+    )
+
+    # Within the embedded metric itself the guarantee is strict:
+    must = brute_force_triangle_keys(tps, tau)
+    assert must <= embedded_keys
+    print(f"metric-space sandwich check passed (|T_τ| = {len(must)})  ✓")
+
+
+if __name__ == "__main__":
+    main()

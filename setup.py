@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package can be installed editable in offline environments whose pip
+cannot build PEP 660 wheels (no `wheel` package available).
+"""
+
+from setuptools import setup
+
+setup()

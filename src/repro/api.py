@@ -1,0 +1,65 @@
+"""One-call convenience entry points for the library's main operations.
+
+These wrap the index classes for scripts that need a single query; for
+repeated queries over the same data build the index object once instead.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .core.aggregate import SumPairIndex, UnionPairIndex
+from .core.linf import LinfTriangleIndex
+from .core.triangles import DurableTriangleIndex
+from .errors import BackendError
+from .geometry.metrics import ChebyshevMetric
+from .types import PairRecord, TemporalPointSet, TriangleRecord
+
+__all__ = [
+    "find_durable_triangles",
+    "find_sum_durable_pairs",
+    "find_union_durable_pairs",
+]
+
+
+def find_durable_triangles(
+    tps: TemporalPointSet,
+    tau: float,
+    epsilon: float = 0.5,
+    backend: str = "auto",
+) -> List[TriangleRecord]:
+    """Report τ-durable triangles (Definition 1.3).
+
+    ``backend="linf-exact"`` (valid only under the ℓ∞ metric) returns
+    exactly ``T_τ`` (Theorem B.3); the approximate backends return
+    ``T_τ`` plus possibly some τ-durable ε-triangles (Theorem 3.1).
+    """
+    if backend == "linf-exact":
+        return LinfTriangleIndex(tps).query(tau)
+    if backend == "auto" and isinstance(tps.metric, ChebyshevMetric):
+        # ℓ∞ inputs get the exact algorithm for free.
+        return LinfTriangleIndex(tps).query(tau)
+    return DurableTriangleIndex(tps, epsilon=epsilon, backend=backend).query(tau)
+
+
+def find_sum_durable_pairs(
+    tps: TemporalPointSet,
+    tau: float,
+    epsilon: float = 0.5,
+    backend: str = "auto",
+) -> List[PairRecord]:
+    """Report τ-SUM-durable pairs (Definition 1.5, Theorem 5.1)."""
+    spatial = "auto" if backend == "linf-exact" else backend
+    return SumPairIndex(tps, epsilon=epsilon, backend=spatial).query(tau)
+
+
+def find_union_durable_pairs(
+    tps: TemporalPointSet,
+    tau: float,
+    kappa: int,
+    epsilon: float = 0.5,
+    backend: str = "auto",
+) -> List[PairRecord]:
+    """Report (τ, κ)-UNION-durable pairs (Section 5.2, Theorem 5.2)."""
+    spatial = "auto" if backend == "linf-exact" else backend
+    return UnionPairIndex(tps, epsilon=epsilon, backend=spatial).query(tau, kappa)

@@ -1,0 +1,42 @@
+"""Comparators and ground-truth implementations (Sections 1.2, 6)."""
+
+from .brute_force import (
+    adjacency_matrix,
+    brute_force_triangle_keys,
+    brute_force_triangles,
+    triangle_bounds,
+)
+from .brute_incremental import (
+    RecomputeIncrementalBaseline,
+    brute_activation_threshold,
+    brute_delta_keys,
+)
+from .brute_pairs import (
+    brute_pair_witness_sum,
+    brute_sum_pairs,
+    brute_union_pairs,
+    max_kappa_coverage,
+)
+from .brute_patterns import brute_cliques, brute_paths, brute_stars
+from .explicit_graph import explicit_graph_triangles
+from .durable_join import durable_edges, durable_join_triangles
+
+__all__ = [
+    "adjacency_matrix",
+    "brute_force_triangle_keys",
+    "brute_force_triangles",
+    "triangle_bounds",
+    "RecomputeIncrementalBaseline",
+    "brute_activation_threshold",
+    "brute_delta_keys",
+    "brute_pair_witness_sum",
+    "brute_sum_pairs",
+    "brute_union_pairs",
+    "max_kappa_coverage",
+    "brute_cliques",
+    "brute_paths",
+    "brute_stars",
+    "explicit_graph_triangles",
+    "durable_edges",
+    "durable_join_triangles",
+]

@@ -1,0 +1,96 @@
+"""Ground truth for the incremental problem (Section 4).
+
+``IncrDurableTriangle`` deltas are validated against set differences of
+the brute-force triangle sets, and activation thresholds against a
+direct maximisation over all triangles anchored at a point.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+import numpy as np
+
+from ..types import TemporalPointSet, TriangleRecord
+from .brute_force import brute_force_triangles
+
+__all__ = [
+    "brute_delta_keys",
+    "brute_activation_threshold",
+    "RecomputeIncrementalBaseline",
+]
+
+
+def brute_delta_keys(
+    tps: TemporalPointSet,
+    tau: float,
+    tau_prec: float,
+    threshold: float = 1.0,
+) -> Set[Tuple[int, int, int]]:
+    """Keys of triangles that are τ-durable but not τ≺-durable.
+
+    Because ``T_τ≺ ⊆ T_τ`` for ``τ ≤ τ≺``, this is exactly
+    ``{t ∈ T_τ : durability(t) < τ≺}``.
+    """
+    return {
+        t.key
+        for t in brute_force_triangles(tps, tau, threshold)
+        if t.durability < tau_prec
+    }
+
+
+def brute_activation_threshold(
+    tps: TemporalPointSet,
+    anchor: int,
+    tau: float,
+    threshold: float = 1.0,
+) -> float:
+    """``β^τ_p`` by direct enumeration (Definition 4.1).
+
+    The maximum durability strictly below ``τ`` over every triangle
+    anchored at ``anchor`` (−inf when none exists).
+    """
+    starts, ends = tps.starts, tps.ends
+    sp, ep = float(starts[anchor]), float(ends[anchor])
+    d = tps.metric.dists(tps.points, tps.points[anchor])
+    key = tps.anchor_key(anchor)
+    partners = [
+        int(q)
+        for q in np.nonzero(d <= threshold)[0]
+        if tps.anchor_key(int(q)) < key and ends[q] >= sp
+    ]
+    best = float("-inf")
+    for i, q in enumerate(partners):
+        for s in partners[i + 1 :]:
+            if tps.dist(q, s) > threshold:
+                continue
+            durability = min(ep, float(ends[q]), float(ends[s])) - sp
+            if 0 < durability < tau and durability > best:
+                best = durability
+    return best
+
+
+class RecomputeIncrementalBaseline:
+    """The naive comparator: answer every query from scratch.
+
+    Recomputes ``T_τ`` with the brute-force lister and diffs against the
+    previously returned key set — the strategy Section 4 is designed to
+    beat (experiment E2).
+    """
+
+    def __init__(self, tps: TemporalPointSet, threshold: float = 1.0) -> None:
+        self.tps = tps
+        self.threshold = threshold
+        self._seen: Set[Tuple[int, int, int]] = set()
+        self._tau_star = float("inf")
+
+    def query(self, tau: float) -> List[TriangleRecord]:
+        full = brute_force_triangles(self.tps, tau, self.threshold)
+        if tau >= self._tau_star:
+            self._seen = {t.key for t in full}
+            self._tau_star = tau
+            return []
+        fresh = [t for t in full if t.key not in self._seen]
+        self._seen = {t.key for t in full}
+        self._tau_star = tau
+        return fresh

@@ -1,0 +1,82 @@
+"""Ground truth for the Appendix D pattern extensions."""
+
+from __future__ import annotations
+
+from itertools import combinations, permutations
+from typing import List, Set, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..types import TemporalPointSet
+
+__all__ = ["brute_cliques", "brute_paths", "brute_stars"]
+
+
+def _check(m: int, tau: float) -> None:
+    if m < 2:
+        raise ValidationError(f"pattern size must be at least 2, got {m!r}")
+    if tau <= 0:
+        raise ValidationError(f"durability parameter must be positive, got {tau!r}")
+
+
+def _adjacency(tps: TemporalPointSet, threshold: float) -> np.ndarray:
+    n = tps.n
+    adj = np.zeros((n, n), dtype=bool)
+    for i in range(n):
+        adj[i] = tps.metric.dists(tps.points, tps.points[i]) <= threshold
+    np.fill_diagonal(adj, False)
+    return adj
+
+
+def _durable(tps: TemporalPointSet, members, tau: float) -> bool:
+    return tps.pattern_lifespan(members).length >= tau
+
+
+def brute_cliques(
+    tps: TemporalPointSet, m: int, tau: float, threshold: float = 1.0
+) -> Set[Tuple[int, ...]]:
+    """Keys (sorted member tuples) of all τ-durable ``m``-cliques."""
+    _check(m, tau)
+    adj = _adjacency(tps, threshold)
+    out: Set[Tuple[int, ...]] = set()
+    for combo in combinations(range(tps.n), m):
+        if all(adj[a, b] for a, b in combinations(combo, 2)) and _durable(
+            tps, combo, tau
+        ):
+            out.add(tuple(combo))
+    return out
+
+
+def brute_paths(
+    tps: TemporalPointSet, m: int, tau: float, threshold: float = 1.0
+) -> Set[Tuple[int, ...]]:
+    """Keys (orientation-canonical member sequences) of τ-durable paths."""
+    _check(m, tau)
+    adj = _adjacency(tps, threshold)
+    out: Set[Tuple[int, ...]] = set()
+    for combo in combinations(range(tps.n), m):
+        if not _durable(tps, combo, tau):
+            continue
+        for perm in permutations(combo):
+            if perm[0] > perm[-1]:
+                continue
+            if all(adj[a, b] for a, b in zip(perm, perm[1:])):
+                out.add(perm)
+    return out
+
+
+def brute_stars(
+    tps: TemporalPointSet, m: int, tau: float, threshold: float = 1.0
+) -> Set[Tuple[int, ...]]:
+    """Keys ``(center, *sorted leaves)`` of all τ-durable ``m``-stars."""
+    _check(m, tau)
+    adj = _adjacency(tps, threshold)
+    out: Set[Tuple[int, ...]] = set()
+    for center in range(tps.n):
+        leaves_pool = [x for x in range(tps.n) if adj[center, x]]
+        for combo in combinations(leaves_pool, m - 1):
+            members = (center, *combo)
+            if _durable(tps, members, tau):
+                out.add((center, *sorted(combo)))
+    return out

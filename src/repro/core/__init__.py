@@ -1,0 +1,53 @@
+"""The paper's algorithms (Sections 3-5, Appendices B-E)."""
+
+from .triangles import DurableTriangleIndex, triangles_for_anchor
+from .enumeration import DelayGuaranteedEnumerator, anchor_has_triangle
+from .incremental import (
+    AnchorBackend,
+    CoverTreeAnchorBackend,
+    IncrementalTriangleSession,
+    compute_activation,
+)
+from .aggregate import SumPairIndex, UnionPairIndex
+from .linf import LinfAnchorBackend, LinfDurableRange, LinfTriangleIndex
+from .dynamic import DynamicDurableStructure, DynamicTriangleStream, StreamEvent
+from .patterns import (
+    PatternIndex,
+    find_durable_cliques,
+    find_durable_paths,
+    find_durable_stars,
+)
+from .counting import (
+    count_delta_for_anchor,
+    count_durable_triangles,
+    count_triangles_for_anchor,
+)
+from .multi import MultiIntervalTriangleFinder, MultiTriangleRecord
+
+__all__ = [
+    "DurableTriangleIndex",
+    "triangles_for_anchor",
+    "DelayGuaranteedEnumerator",
+    "anchor_has_triangle",
+    "AnchorBackend",
+    "CoverTreeAnchorBackend",
+    "IncrementalTriangleSession",
+    "compute_activation",
+    "SumPairIndex",
+    "UnionPairIndex",
+    "LinfAnchorBackend",
+    "LinfDurableRange",
+    "LinfTriangleIndex",
+    "DynamicDurableStructure",
+    "DynamicTriangleStream",
+    "StreamEvent",
+    "PatternIndex",
+    "find_durable_cliques",
+    "find_durable_paths",
+    "find_durable_stars",
+    "count_delta_for_anchor",
+    "count_durable_triangles",
+    "count_triangles_for_anchor",
+    "MultiIntervalTriangleFinder",
+    "MultiTriangleRecord",
+]

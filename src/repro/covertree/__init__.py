@@ -1,0 +1,14 @@
+"""Cover tree (net hierarchy) and its ball-reporting query (Appendix A)."""
+
+from .build import NetHierarchy, NetLevel, build_hierarchy, greedy_net
+from .ball_query import CoverTreeDecomposition
+from .validate import check_invariants
+
+__all__ = [
+    "NetHierarchy",
+    "NetLevel",
+    "build_hierarchy",
+    "greedy_net",
+    "CoverTreeDecomposition",
+    "check_invariants",
+]

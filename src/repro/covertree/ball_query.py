@@ -1,0 +1,113 @@
+"""Cover-tree canonical-ball decomposition and reporting query (Appendix A).
+
+:class:`CoverTreeDecomposition` exposes the net hierarchy through the
+:class:`~repro.structures.decomposition.SpatialDecomposition` interface:
+the bottom-level nets are the canonical groups, and
+:meth:`candidate_groups` runs the Appendix A descent — at each level
+keep the nodes ``v`` with ``φ(q, Rep_v) ≤ R + e_v`` (``e_v`` = subtree
+cover bound), then filter the bottom level by its own radius bound.
+
+The descent visits ``O(ε^{-O(ρ)})`` nodes per level and ``O(log Δ)``
+levels for spread ``Δ`` (Lemma A.3).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..geometry.metrics import Metric, MetricSpec, get_metric
+from ..structures.decomposition import (
+    GEOMETRY_SLACK,
+    CanonicalGroup,
+    SpatialDecomposition,
+)
+from .build import NetHierarchy, build_hierarchy
+
+__all__ = ["CoverTreeDecomposition"]
+
+
+class CoverTreeDecomposition(SpatialDecomposition):
+    """Canonical balls from a greedy net hierarchy (Appendix A).
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` coordinate array.
+    metric:
+        Metric specification.
+    resolution:
+        Maximum canonical-ball radius.  The durable-pattern indexes pass
+        ``ε/4`` here, matching the ``diameter ≤ ε/2`` canonical balls of
+        ``durableBallQ(p, τ, ε/2)`` in Algorithm 1.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        metric: MetricSpec,
+        resolution: float,
+    ) -> None:
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or len(pts) == 0:
+            raise ValidationError("points must be a non-empty (n, d) array")
+        self.points = pts
+        self.metric: Metric = get_metric(metric)
+        self.resolution = float(resolution)
+        self.hierarchy: NetHierarchy = build_hierarchy(pts, self.metric, self.resolution)
+
+        bottom = self.hierarchy.bottom
+        self.groups: List[CanonicalGroup] = []
+        self._group_by_rep = {}
+        for rep_id in bottom.rep_ids:
+            g = CanonicalGroup(
+                index=len(self.groups),
+                rep=pts[rep_id],
+                radius_bound=bottom.radius,
+                member_ids=sorted(bottom.children.get(rep_id, [])),
+            )
+            self.groups.append(g)
+            self._group_by_rep[rep_id] = g.index
+        self.group_of = np.empty(len(pts), dtype=np.int64)
+        for pid, rep in self.hierarchy.assign_bottom.items():
+            self.group_of[pid] = self._group_by_rep[rep]
+
+    # ------------------------------------------------------------------
+    @property
+    def n_levels(self) -> int:
+        return len(self.hierarchy.levels)
+
+    def candidate_groups(self, point: np.ndarray, radius: float) -> List[int]:
+        """Descend the hierarchy, pruning nodes that cannot reach ``B(point, radius)``.
+
+        A node ``v`` at level ``ℓ`` covers its subtree within
+        ``e_v = 2^{ℓ+1}``, so it is kept iff
+        ``φ(point, Rep_v) ≤ radius + e_v (+ slack)``.  The surviving
+        bottom nodes are filtered with their tight one-hop bound.
+        """
+        point = np.asarray(point, dtype=float)
+        levels = self.hierarchy.levels
+        frontier = levels[-1].rep_ids
+        # Walk from the top level down to (but not through) the bottom.
+        for depth in range(len(levels) - 1, 0, -1):
+            lvl = levels[depth]
+            if frontier:
+                reps = self.points[frontier]
+                d = self.metric.dists(reps, point)
+                keep = d <= radius + lvl.cover_bound + GEOMETRY_SLACK
+                survivors = [frontier[i] for i in np.nonzero(keep)[0]]
+            else:
+                survivors = []
+            nxt: List[int] = []
+            for rep in survivors:
+                nxt.extend(lvl.children.get(rep, ()))
+            frontier = nxt
+        bottom = levels[0]
+        if not frontier:
+            return []
+        reps = self.points[frontier]
+        d = self.metric.dists(reps, point)
+        keep = d <= radius + bottom.radius + GEOMETRY_SLACK
+        return [self._group_by_rep[frontier[i]] for i in np.nonzero(keep)[0]]

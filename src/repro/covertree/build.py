@@ -1,0 +1,174 @@
+"""Greedy net hierarchy — the modified cover tree of Appendix A.
+
+The hierarchy consists of nets ``N_ℓ ⊆ N_{ℓ-1} ⊆ … ⊆ P`` at dyadic
+scales ``2^ℓ``.  Each level satisfies the cover-tree invariants:
+
+* *separation*: reps at level ``ℓ`` are pairwise ``> 2^ℓ`` apart;
+* *covering*: every rep at level ``ℓ-1`` is within ``2^ℓ`` of its parent;
+* *nesting*: ``N_ℓ ⊆ N_{ℓ-1}``.
+
+Greedy net construction is grid-accelerated for ``ℓ_p`` metrics (cells of
+side ``2^ℓ``: a net point within ``2^ℓ`` must fall in one of the ``3^d``
+neighbouring cells) and falls back to vectorised linear scans for
+arbitrary metric oracles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..geometry.metrics import Metric
+
+__all__ = ["NetLevel", "NetHierarchy", "build_hierarchy", "greedy_net"]
+
+
+@dataclass(slots=True)
+class NetLevel:
+    """One level of the hierarchy.
+
+    ``rep_ids`` are point ids forming the net; ``children[r]`` lists the
+    level-below rep ids assigned to parent ``r`` (for the bottom level,
+    the member point ids).
+    """
+
+    level: int
+    radius: float
+    rep_ids: List[int]
+    children: Dict[int, List[int]] = field(default_factory=dict)
+
+    @property
+    def cover_bound(self) -> float:
+        """Upper bound on the distance from the rep to any point in its subtree."""
+        return 2.0 * self.radius
+
+
+@dataclass(slots=True)
+class NetHierarchy:
+    """The full net hierarchy, bottom (finest) level first."""
+
+    levels: List[NetLevel]
+    assign_bottom: Dict[int, int]  # point id -> bottom rep id
+
+    @property
+    def bottom(self) -> NetLevel:
+        return self.levels[0]
+
+    @property
+    def top(self) -> NetLevel:
+        return self.levels[-1]
+
+
+def greedy_net(
+    points: np.ndarray,
+    ids: Sequence[int],
+    radius: float,
+    metric: Metric,
+) -> Tuple[List[int], Dict[int, int]]:
+    """Greedy ``radius``-net of the given ids.
+
+    Returns ``(net_ids, assignment)`` where every id is assigned to a net
+    id within ``radius`` and net ids are pairwise ``> radius`` apart.
+    Iteration order is by id, so the construction is deterministic.
+    """
+    net_ids: List[int] = []
+    assignment: Dict[int, int] = {}
+    ordered = sorted(int(i) for i in ids)
+    if not ordered:
+        return net_ids, assignment
+
+    if metric.supports_grid and radius > 0:
+        cells: Dict[Tuple[int, ...], List[int]] = {}
+        side = radius
+        inv = 1.0 / side
+        dim = points.shape[1]
+        offsets = _box_offsets(dim)
+        for i in ordered:
+            p = points[i]
+            key = tuple(int(math.floor(c * inv)) for c in p)
+            chosen = -1
+            for off in offsets:
+                cell = tuple(k + o for k, o in zip(key, off))
+                for j in cells.get(cell, ()):
+                    if metric.dist(points[j], p) <= radius:
+                        chosen = j
+                        break
+                if chosen >= 0:
+                    break
+            if chosen < 0:
+                net_ids.append(i)
+                cells.setdefault(key, []).append(i)
+                assignment[i] = i
+            else:
+                assignment[i] = chosen
+        return net_ids, assignment
+
+    # General metric fallback: vectorised scan over current net points.
+    net_pts: List[np.ndarray] = []
+    for i in ordered:
+        p = points[i]
+        chosen = -1
+        if net_pts:
+            d = metric.dists(np.vstack(net_pts), p)
+            hits = np.nonzero(d <= radius)[0]
+            if hits.size:
+                chosen = net_ids[int(hits[0])]
+        if chosen < 0:
+            net_ids.append(i)
+            net_pts.append(points[i])
+            assignment[i] = i
+        else:
+            assignment[i] = chosen
+    return net_ids, assignment
+
+
+def _box_offsets(dim: int) -> List[Tuple[int, ...]]:
+    from itertools import product
+
+    return list(product((-1, 0, 1), repeat=dim))
+
+
+def build_hierarchy(
+    points: np.ndarray,
+    metric: Metric,
+    resolution: float,
+    max_levels: int = 64,
+) -> NetHierarchy:
+    """Build the net hierarchy down to balls of radius ≤ ``resolution``.
+
+    The bottom level lives at scale ``2^⌊log2(resolution)⌋`` so every
+    bottom ball has radius at most ``resolution``; levels are added
+    upward (doubling the scale) until a single net point remains.
+    """
+    if resolution <= 0:
+        raise ValidationError(f"resolution must be positive, got {resolution!r}")
+    n = len(points)
+    if n == 0:
+        raise ValidationError("cannot build a hierarchy over zero points")
+
+    bottom_level = math.floor(math.log2(resolution))
+    radius = 2.0**bottom_level
+    all_ids = list(range(n))
+    net_ids, assignment = greedy_net(points, all_ids, radius, metric)
+    bottom = NetLevel(level=bottom_level, radius=radius, rep_ids=net_ids)
+    for pid, rep in assignment.items():
+        bottom.children.setdefault(rep, []).append(pid)
+    levels = [bottom]
+    assign_bottom = dict(assignment)
+
+    current = net_ids
+    level = bottom_level
+    while len(current) > 1 and len(levels) < max_levels:
+        level += 1
+        radius = 2.0**level
+        net, assign = greedy_net(points, current, radius, metric)
+        lvl = NetLevel(level=level, radius=radius, rep_ids=net)
+        for child, parent in assign.items():
+            lvl.children.setdefault(parent, []).append(child)
+        levels.append(lvl)
+        current = net
+    return NetHierarchy(levels=levels, assign_bottom=assign_bottom)

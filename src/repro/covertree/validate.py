@@ -1,0 +1,80 @@
+"""Invariant checking for the net hierarchy (used by the test suite).
+
+Verifies the three cover-tree constraints of Section 2.1 — nesting,
+covering and separation — plus the subtree cover bound of Lemma A.1 on
+which the ball-query pruning relies.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..geometry.metrics import Metric
+from .build import NetHierarchy
+
+__all__ = ["check_invariants"]
+
+
+def check_invariants(
+    hierarchy: NetHierarchy, points: np.ndarray, metric: Metric
+) -> List[str]:
+    """Return a list of human-readable violations (empty == valid)."""
+    problems: List[str] = []
+    levels = hierarchy.levels
+
+    # Separation: reps at the same level are pairwise > 2^ℓ apart.
+    for lvl in levels:
+        reps = lvl.rep_ids
+        for a_pos, a in enumerate(reps):
+            if a_pos + 1 >= len(reps):
+                continue
+            d = metric.dists(points[reps[a_pos + 1 :]], points[a])
+            bad = np.nonzero(d <= lvl.radius)[0]
+            for b_pos in bad:
+                b = reps[a_pos + 1 + int(b_pos)]
+                problems.append(
+                    f"separation violated at level {lvl.level}: "
+                    f"reps {a} and {b} at distance {float(d[b_pos]):.6g} ≤ {lvl.radius:g}"
+                )
+
+    # Covering: every child is within 2^{ℓ} of its parent at level ℓ.
+    for lvl in levels:
+        for parent, children in lvl.children.items():
+            d = metric.dists(points[children], points[parent])
+            bad = np.nonzero(d > lvl.radius + 1e-9)[0]
+            for pos in bad:
+                problems.append(
+                    f"covering violated at level {lvl.level}: child "
+                    f"{children[int(pos)]} is {float(d[pos]):.6g} from parent {parent}"
+                )
+
+    # Nesting: reps at level ℓ+1 are also reps at level ℓ.
+    for below, above in zip(levels, levels[1:]):
+        missing = set(above.rep_ids) - set(below.rep_ids)
+        if missing:
+            problems.append(
+                f"nesting violated between levels {below.level} and "
+                f"{above.level}: {sorted(missing)} not present below"
+            )
+
+    # Lemma A.1: every point is within the subtree cover bound of every
+    # ancestor rep.
+    ancestor = dict(hierarchy.assign_bottom)
+    for lvl in levels:
+        for pid, rep in ancestor.items():
+            d = metric.dist(points[pid], points[rep])
+            if d > lvl.cover_bound + 1e-9:
+                problems.append(
+                    f"cover bound violated at level {lvl.level}: point {pid} is "
+                    f"{d:.6g} from ancestor {rep} (bound {lvl.cover_bound:g})"
+                )
+        if lvl is not levels[-1]:
+            nxt = levels[levels.index(lvl) + 1]
+            parent_of = {}
+            for parent, children in nxt.children.items():
+                for child in children:
+                    parent_of[child] = parent
+            ancestor = {pid: parent_of[rep] for pid, rep in ancestor.items()}
+    return problems

@@ -1,0 +1,24 @@
+"""Synthetic workload generators (points, lifespans, named workloads)."""
+
+from .synthetic import clustered_points, grid_points, manifold_points, uniform_points
+from .temporal_gen import (
+    career_lifespans,
+    heavy_tail_lifespans,
+    session_lifespans,
+    uniform_lifespans,
+)
+from .workloads import benchmark_workload, coauthorship_workload, social_forum_workload
+
+__all__ = [
+    "clustered_points",
+    "grid_points",
+    "manifold_points",
+    "uniform_points",
+    "career_lifespans",
+    "heavy_tail_lifespans",
+    "session_lifespans",
+    "uniform_lifespans",
+    "benchmark_workload",
+    "coauthorship_workload",
+    "social_forum_workload",
+]

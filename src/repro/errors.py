@@ -1,0 +1,42 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised on a public code path derives from :class:`ReproError`
+so that callers can catch library failures with a single ``except`` clause
+while still distinguishing input validation from structural misuse.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when user-supplied input fails validation.
+
+    Examples: point/lifespan arrays of mismatched length, a lifespan whose
+    end precedes its start, a non-positive durability parameter, or an
+    approximation parameter outside ``(0, 1]``.
+    """
+
+
+class MetricError(ReproError, ValueError):
+    """Raised when a metric specification cannot be resolved.
+
+    The library accepts metric names (``"l1"``, ``"l2"``, ``"linf"``),
+    ``("lp", alpha)`` tuples, :class:`~repro.geometry.metrics.Metric`
+    instances, and callables; anything else raises this error.
+    """
+
+
+class StructureError(ReproError, RuntimeError):
+    """Raised when a data structure is used outside its contract.
+
+    Examples: querying a dynamic structure after it has been closed, or
+    requesting an exact ℓ∞ backend on a non-ℓ∞ metric.
+    """
+
+
+class BackendError(ReproError, ValueError):
+    """Raised when an unknown or incompatible backend is requested."""

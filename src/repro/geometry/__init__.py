@@ -1,0 +1,33 @@
+"""Geometric substrates: metrics, grids, diagnostics, embeddings."""
+
+from .metrics import (
+    ChebyshevMetric,
+    EuclideanMetric,
+    FunctionMetric,
+    LpMetric,
+    ManhattanMetric,
+    Metric,
+    MetricSpec,
+    get_metric,
+)
+from .grid import UniformGrid
+from .analysis import (
+    doubling_dimension_estimate,
+    expansion_constant_estimate,
+    spread,
+)
+
+__all__ = [
+    "ChebyshevMetric",
+    "EuclideanMetric",
+    "FunctionMetric",
+    "LpMetric",
+    "ManhattanMetric",
+    "Metric",
+    "MetricSpec",
+    "get_metric",
+    "UniformGrid",
+    "doubling_dimension_estimate",
+    "expansion_constant_estimate",
+    "spread",
+]

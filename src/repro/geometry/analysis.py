@@ -1,0 +1,134 @@
+"""Metric-space diagnostics: spread, doubling dimension, expansion constant.
+
+Section 2.1 of the paper assumes polynomially-bounded spread and constant
+doubling dimension; these estimators let users (and experiment E12)
+verify those assumptions on a workload.  The doubling dimension and
+expansion constant are estimated by sampling, which is the standard
+practice the paper cites ([23], [45]).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ValidationError
+from .grid import UniformGrid
+from .metrics import Metric, MetricSpec, get_metric
+
+__all__ = [
+    "spread",
+    "doubling_dimension_estimate",
+    "expansion_constant_estimate",
+]
+
+
+def _as_points(points: np.ndarray) -> np.ndarray:
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or len(pts) == 0:
+        raise ValidationError("points must be a non-empty (n, d) array")
+    return pts
+
+
+def spread(points: np.ndarray, metric: MetricSpec = "l2", sample: int = 2048,
+           seed: int = 0) -> float:
+    """Ratio of max to min pairwise distance (Section 2.1).
+
+    Exact for ``n ≤ sample``; otherwise estimated on a random subsample
+    (an under-estimate of the max and an over-estimate of the min, hence
+    a lower bound on the true spread).  Coincident points are excluded
+    from the minimum so that duplicates do not degenerate the diagnostic
+    to infinity.
+    """
+    pts = _as_points(points)
+    m = get_metric(metric)
+    if len(pts) < 2:
+        return 1.0
+    if len(pts) > sample:
+        rng = np.random.default_rng(seed)
+        pts = pts[rng.choice(len(pts), size=sample, replace=False)]
+    dmin = np.inf
+    dmax = 0.0
+    for i in range(len(pts) - 1):
+        d = m.dists(pts[i + 1 :], pts[i])
+        positive = d[d > 0]
+        if positive.size:
+            dmin = min(dmin, float(positive.min()))
+        dmax = max(dmax, float(d.max()))
+    if not np.isfinite(dmin) or dmin == 0.0:
+        return np.inf if dmax > 0 else 1.0
+    return dmax / dmin
+
+
+def doubling_dimension_estimate(
+    points: np.ndarray,
+    metric: MetricSpec = "l2",
+    n_centers: int = 32,
+    n_radii: int = 4,
+    seed: int = 0,
+) -> float:
+    """Sampled estimate of the doubling dimension ``ρ``.
+
+    For sampled centers ``p`` and radii ``r``, greedily cover
+    ``B(p, r) ∩ P`` with balls of radius ``r/2`` and report
+    ``max log2(#cover balls)`` — the empirical analogue of the
+    definition in Section 2.1.
+    """
+    pts = _as_points(points)
+    m = get_metric(metric)
+    rng = np.random.default_rng(seed)
+    n = len(pts)
+    centers = rng.choice(n, size=min(n_centers, n), replace=False)
+    # Radii spanning the data scale.
+    ref = pts[rng.choice(n, size=min(256, n), replace=False)]
+    dists_ref = m.dists(ref, pts[centers[0]])
+    rmax = float(dists_ref.max()) or 1.0
+    radii = [rmax / (2.0**k) for k in range(1, n_radii + 1)]
+    worst = 1.0
+    for c in centers:
+        d_all = m.dists(pts, pts[c])
+        for r in radii:
+            inside = np.nonzero(d_all <= r)[0]
+            if len(inside) <= 1:
+                continue
+            # Greedy r/2 cover of the ball members.
+            uncovered = list(inside)
+            count = 0
+            while uncovered:
+                center = uncovered[0]
+                d = m.dists(pts[uncovered], pts[center])
+                uncovered = [u for u, dist in zip(uncovered, d) if dist > r / 2.0]
+                count += 1
+            worst = max(worst, float(count))
+    return float(np.log2(worst)) if worst > 1 else 0.0
+
+
+def expansion_constant_estimate(
+    points: np.ndarray,
+    metric: MetricSpec = "l2",
+    n_centers: int = 32,
+    n_radii: int = 4,
+    seed: int = 0,
+) -> float:
+    """Sampled estimate of the expansion constant (footnote 3).
+
+    Reports ``max |B(p, 2r) ∩ P| / |B(p, r) ∩ P|`` over sampled centers
+    and radii with non-trivial inner balls.
+    """
+    pts = _as_points(points)
+    m = get_metric(metric)
+    rng = np.random.default_rng(seed)
+    n = len(pts)
+    centers = rng.choice(n, size=min(n_centers, n), replace=False)
+    worst = 1.0
+    for c in centers:
+        d = m.dists(pts, pts[c])
+        rmax = float(d.max()) or 1.0
+        for k in range(1, n_radii + 1):
+            r = rmax / (2.0**k)
+            inner = int((d <= r).sum())
+            outer = int((d <= 2 * r).sum())
+            if inner >= 2:
+                worst = max(worst, outer / inner)
+    return float(worst)

@@ -1,0 +1,109 @@
+"""Graph → point-set embedding pipeline.
+
+The paper assumes embeddings are given ("there are efficient algorithms
+for computing graph embeddings", Section 1) and cites landmark/MDS-style
+methods [50, 54, 55].  This module provides that missing pipeline so
+users can run the durable-pattern algorithms on *graphs*: a landmark
+multidimensional-scaling embedding of shortest-path distances, built on
+networkx + scipy (the ``analysis`` extra).
+
+The embedding is then rescaled so that graph-adjacent vertices land
+within the unit distance threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["landmark_embedding", "embed_graph"]
+
+
+def landmark_embedding(
+    graph,
+    dim: int = 4,
+    n_landmarks: int = 32,
+    seed: Optional[int] = 0,
+) -> np.ndarray:
+    """Landmark MDS of shortest-path distances.
+
+    Classic landmark multidimensional scaling: embed the landmarks by
+    eigendecomposition of the double-centred squared-distance matrix,
+    then triangulate the remaining vertices against the landmark frame.
+    Returns an ``(n, dim)`` array indexed by sorted node order.
+    """
+    import networkx as nx
+
+    nodes = sorted(graph.nodes())
+    n = len(nodes)
+    if n == 0:
+        raise ValidationError("cannot embed an empty graph")
+    index = {v: i for i, v in enumerate(nodes)}
+    rng = np.random.default_rng(seed)
+    k = min(n_landmarks, n)
+    landmarks = [nodes[i] for i in rng.choice(n, size=k, replace=False)]
+
+    # Distances from every landmark to all nodes (BFS per landmark).
+    dist = np.full((k, n), np.inf)
+    for li, lm in enumerate(landmarks):
+        lengths = nx.single_source_shortest_path_length(graph, lm)
+        for v, d in lengths.items():
+            dist[li, index[v]] = d
+    finite_max = np.nanmax(np.where(np.isfinite(dist), dist, np.nan))
+    if not np.isfinite(finite_max):
+        finite_max = 1.0
+    dist = np.where(np.isfinite(dist), dist, finite_max * 2.0)
+
+    # Classical MDS on the landmark-landmark block.
+    lm_idx = [index[lm] for lm in landmarks]
+    d2 = dist[:, lm_idx] ** 2
+    j = np.eye(k) - np.ones((k, k)) / k
+    b = -0.5 * j @ d2 @ j
+    vals, vecs = np.linalg.eigh(b)
+    order = np.argsort(vals)[::-1][:dim]
+    vals_top = np.clip(vals[order], 1e-12, None)
+    lm_coords = vecs[:, order] * np.sqrt(vals_top)
+
+    # Triangulate remaining nodes (distance-based projection):
+    # x_v = -1/2 · pinv(L) · (δ²_v − mean δ²), the classic landmark-MDS
+    # out-of-sample formula.
+    pseudo = np.linalg.pinv(lm_coords)  # (dim, k)
+    mean_d2 = d2.mean(axis=1)
+    coords = np.empty((n, lm_coords.shape[1]))
+    for v in range(n):
+        dv2 = dist[:, v] ** 2
+        coords[v] = -0.5 * (pseudo @ (dv2 - mean_d2))
+    return coords
+
+
+def embed_graph(
+    graph,
+    dim: int = 4,
+    n_landmarks: int = 32,
+    seed: Optional[int] = 0,
+    adjacency_quantile: float = 0.9,
+) -> Tuple[np.ndarray, float]:
+    """Embed a graph and compute the unit-threshold rescaling.
+
+    Returns ``(points, scale)`` where points are already divided by
+    ``scale``: the ``adjacency_quantile`` of embedded edge lengths maps
+    to distance 1, so most graph edges become unit-ball edges.  The
+    embedding is approximate — exactly the regime the paper targets
+    ("graphs … can be approximated as proximity graphs").
+    """
+    coords = landmark_embedding(graph, dim=dim, n_landmarks=n_landmarks, seed=seed)
+    nodes = sorted(graph.nodes())
+    index = {v: i for i, v in enumerate(nodes)}
+    edge_lens = [
+        float(np.linalg.norm(coords[index[a]] - coords[index[b]]))
+        for a, b in graph.edges()
+    ]
+    if edge_lens:
+        scale = float(np.quantile(edge_lens, adjacency_quantile))
+    else:
+        scale = 1.0
+    scale = max(scale, 1e-9)
+    return coords / scale, scale

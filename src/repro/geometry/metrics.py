@@ -1,0 +1,197 @@
+"""Distance metrics over point sets in ``R^d``.
+
+The paper's algorithms work for any metric with bounded doubling
+dimension (Section 2.1) and specialise to ``ℓ_α`` norms (Appendix D.1)
+and ``ℓ_∞`` (Appendix B).  This module provides:
+
+* :class:`Metric` — the interface consumed by every spatial structure:
+  single-pair distance plus a vectorised many-to-one kernel;
+* :class:`LpMetric` / :class:`ChebyshevMetric` — numpy-vectorised norms;
+* :class:`FunctionMetric` — wraps an arbitrary Python callable (the
+  "general metric oracle" case);
+* :func:`get_metric` — resolves user-facing metric specifications.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Union
+
+import numpy as np
+
+from ..errors import MetricError
+
+__all__ = [
+    "Metric",
+    "LpMetric",
+    "EuclideanMetric",
+    "ManhattanMetric",
+    "ChebyshevMetric",
+    "FunctionMetric",
+    "get_metric",
+    "MetricSpec",
+]
+
+MetricSpec = Union[str, tuple, "Metric", Callable[[np.ndarray, np.ndarray], float]]
+
+
+class Metric(ABC):
+    """Distance oracle used by every spatial structure in the library."""
+
+    #: Short name used in reprs and backend selection.
+    name: str = "metric"
+
+    #: True for ``ℓ_p``-style norms where grid hashing accelerates net
+    #: construction and quadtree decompositions apply.
+    supports_grid: bool = False
+
+    @abstractmethod
+    def dist(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Distance between two points (1-d arrays)."""
+
+    @abstractmethod
+    def dists(self, pts: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Vectorised distances from each row of ``pts`` to ``y``."""
+
+    def cell_side_for_diameter(self, diameter: float, dim: int) -> float:
+        """Side of an axis-aligned cube whose metric diameter is ≤ ``diameter``.
+
+        Only meaningful when :attr:`supports_grid` is true.
+        """
+        raise MetricError(f"metric {self.name!r} does not support grid decompositions")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class LpMetric(Metric):
+    """The ``ℓ_α`` norm for ``1 ≤ α < ∞`` (footnote 2 of the paper)."""
+
+    supports_grid = True
+
+    def __init__(self, alpha: float) -> None:
+        if not alpha >= 1:
+            raise MetricError(f"lp metric requires alpha >= 1, got {alpha!r}")
+        self.alpha = float(alpha)
+        self.name = f"l{alpha:g}"
+
+    def dist(self, x: np.ndarray, y: np.ndarray) -> float:
+        diff = np.abs(np.asarray(x, dtype=float) - np.asarray(y, dtype=float))
+        if self.alpha == 2.0:
+            return float(np.sqrt(np.dot(diff, diff)))
+        if self.alpha == 1.0:
+            return float(diff.sum())
+        return float((diff**self.alpha).sum() ** (1.0 / self.alpha))
+
+    def dists(self, pts: np.ndarray, y: np.ndarray) -> np.ndarray:
+        diff = np.abs(np.asarray(pts, dtype=float) - np.asarray(y, dtype=float))
+        if diff.ndim == 1:
+            diff = diff[None, :]
+        if self.alpha == 2.0:
+            return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        if self.alpha == 1.0:
+            return diff.sum(axis=1)
+        return (diff**self.alpha).sum(axis=1) ** (1.0 / self.alpha)
+
+    def cell_side_for_diameter(self, diameter: float, dim: int) -> float:
+        # A cube of side s has ℓ_α diameter s * d^(1/α).
+        return diameter / (dim ** (1.0 / self.alpha))
+
+
+class EuclideanMetric(LpMetric):
+    """``ℓ_2`` — the default metric."""
+
+    def __init__(self) -> None:
+        super().__init__(2.0)
+        self.name = "l2"
+
+
+class ManhattanMetric(LpMetric):
+    """``ℓ_1``."""
+
+    def __init__(self) -> None:
+        super().__init__(1.0)
+        self.name = "l1"
+
+
+class ChebyshevMetric(Metric):
+    """``ℓ_∞`` — the metric with exact algorithms (Appendix B)."""
+
+    name = "linf"
+    supports_grid = True
+
+    def dist(self, x: np.ndarray, y: np.ndarray) -> float:
+        diff = np.abs(np.asarray(x, dtype=float) - np.asarray(y, dtype=float))
+        return float(diff.max()) if diff.size else 0.0
+
+    def dists(self, pts: np.ndarray, y: np.ndarray) -> np.ndarray:
+        diff = np.abs(np.asarray(pts, dtype=float) - np.asarray(y, dtype=float))
+        if diff.ndim == 1:
+            diff = diff[None, :]
+        return diff.max(axis=1)
+
+    def cell_side_for_diameter(self, diameter: float, dim: int) -> float:
+        # A cube of side s has ℓ_∞ diameter exactly s.
+        return diameter
+
+
+class FunctionMetric(Metric):
+    """Wrap an arbitrary distance callable (the general metric oracle).
+
+    The callable must implement a metric (symmetry, triangle inequality);
+    the library cannot verify this and the approximation guarantees of
+    the paper require it.
+    """
+
+    supports_grid = False
+
+    def __init__(self, fn: Callable[[np.ndarray, np.ndarray], float], name: str = "custom") -> None:
+        self._fn = fn
+        self.name = name
+
+    def dist(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float(self._fn(np.asarray(x, dtype=float), np.asarray(y, dtype=float)))
+
+    def dists(self, pts: np.ndarray, y: np.ndarray) -> np.ndarray:
+        pts = np.asarray(pts, dtype=float)
+        if pts.ndim == 1:
+            pts = pts[None, :]
+        y = np.asarray(y, dtype=float)
+        return np.fromiter(
+            (self._fn(row, y) for row in pts), dtype=float, count=len(pts)
+        )
+
+
+_NAMED = {
+    "l1": ManhattanMetric,
+    "manhattan": ManhattanMetric,
+    "l2": EuclideanMetric,
+    "euclidean": EuclideanMetric,
+    "linf": ChebyshevMetric,
+    "chebyshev": ChebyshevMetric,
+}
+
+
+def get_metric(spec: MetricSpec = "l2") -> Metric:
+    """Resolve a metric specification.
+
+    Accepts a :class:`Metric` instance, a name (``"l1"``, ``"l2"``,
+    ``"linf"``), a ``("lp", alpha)`` tuple, or a distance callable.
+    """
+    if isinstance(spec, Metric):
+        return spec
+    if isinstance(spec, str):
+        key = spec.lower()
+        if key in _NAMED:
+            return _NAMED[key]()
+        if key.startswith("l"):
+            try:
+                return LpMetric(float(key[1:]))
+            except (ValueError, MetricError):
+                pass
+        raise MetricError(f"unknown metric name {spec!r}")
+    if isinstance(spec, tuple) and len(spec) == 2 and spec[0] == "lp":
+        return LpMetric(float(spec[1]))
+    if callable(spec):
+        return FunctionMetric(spec)
+    raise MetricError(f"cannot interpret metric specification {spec!r}")

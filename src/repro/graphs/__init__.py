@@ -1,0 +1,18 @@
+"""Explicit proximity graphs and classic graph classes."""
+
+from .proximity import ProximityGraph, build_proximity_graph
+from .classes import (
+    as_temporal,
+    grid_graph_points,
+    ring_graph_points,
+    unit_interval_graph_points,
+)
+
+__all__ = [
+    "ProximityGraph",
+    "build_proximity_graph",
+    "as_temporal",
+    "grid_graph_points",
+    "ring_graph_points",
+    "unit_interval_graph_points",
+]

@@ -1,0 +1,80 @@
+"""Graph classes with natural proximity representations.
+
+Section 1.2 notes the approach "extends naturally to other classes of
+graphs including interval graphs, permutation graphs, and grid graphs".
+This module provides point-set realisations for the classes with exact
+unit-ball representations, plus explicit generators for validation:
+
+* grid graphs: integer grid points under ``ℓ1``/``ℓ∞`` threshold 1;
+* unit-interval graphs: interval midpoints on the line (two unit
+  intervals overlap iff their centers are within 1);
+* ring/path graphs: points on a circle/line with nearest-neighbour
+  threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..types import TemporalPointSet
+
+__all__ = [
+    "grid_graph_points",
+    "unit_interval_graph_points",
+    "ring_graph_points",
+    "as_temporal",
+]
+
+
+def grid_graph_points(rows: int, cols: int) -> np.ndarray:
+    """The ``rows × cols`` grid graph: integer points; under the ``ℓ1``
+    metric with threshold 1 the proximity graph is exactly the grid."""
+    if rows <= 0 or cols <= 0:
+        raise ValidationError("rows and cols must be positive")
+    ys, xs = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    return np.stack([ys.ravel(), xs.ravel()], axis=1).astype(float)
+
+
+def unit_interval_graph_points(
+    centers: Sequence[float],
+) -> np.ndarray:
+    """A unit-interval graph: vertex ``i`` is the unit interval centered
+    at ``centers[i]``; two overlap iff ``|c_i − c_j| ≤ 1`` — a 1-d
+    proximity graph."""
+    arr = np.asarray(centers, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValidationError("centers must be a non-empty 1-d sequence")
+    return arr[:, None]
+
+
+def ring_graph_points(n: int, neighbor_hops: int = 1) -> np.ndarray:
+    """``n`` points on a circle whose unit-threshold proximity graph is
+    the ring with edges to ``neighbor_hops`` nearest neighbours."""
+    if n < 3:
+        raise ValidationError("a ring needs at least 3 points")
+    # Chord length between k-hop neighbours is 2R sin(πk/n); choose R so
+    # the neighbor_hops-chord is exactly 1 and the next chord exceeds 1.
+    # A hair of negative slack keeps the intended chords at ≤ 1 under
+    # floating-point rounding of cos/sin.
+    radius = (1.0 - 1e-9) / (2.0 * np.sin(np.pi * neighbor_hops / n))
+    theta = 2.0 * np.pi * np.arange(n) / n
+    return np.stack([radius * np.cos(theta), radius * np.sin(theta)], axis=1)
+
+
+def as_temporal(
+    points: np.ndarray,
+    starts: Optional[Sequence[float]] = None,
+    ends: Optional[Sequence[float]] = None,
+    metric: str = "l2",
+    horizon: float = 10.0,
+) -> TemporalPointSet:
+    """Wrap bare class points as an (optionally trivially-timed) input."""
+    n = len(points)
+    if starts is None:
+        starts = np.zeros(n)
+    if ends is None:
+        ends = np.full(n, horizon, dtype=float)
+    return TemporalPointSet(points, starts, ends, metric=metric)

@@ -1,0 +1,5 @@
+"""Quadtree/grid decomposition for lp metrics (Remark 1, Appendix D.1)."""
+
+from .tree import GridDecomposition
+
+__all__ = ["GridDecomposition"]

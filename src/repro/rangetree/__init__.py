@@ -1,0 +1,5 @@
+"""Range tree with temporal leaves — D_R for exact l-inf (Appendix B.1)."""
+
+from .range_tree import Box, RangeTree, Side, StabArray, box_intersect, closed_box
+
+__all__ = ["Box", "RangeTree", "Side", "StabArray", "box_intersect", "closed_box"]

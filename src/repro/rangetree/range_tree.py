@@ -1,0 +1,220 @@
+"""Multi-level range tree with temporal leaves — ``D_R`` (Appendix B.1).
+
+A ``d``-level range tree over the points; each canonical node of the
+last coordinate level stores a :class:`StabArray` over the lifespans of
+its points.  A τ-durable range query ``Q_R(p, τ, R)`` decomposes the
+rectangle ``R`` into ``O(log^d n)`` canonical nodes and, inside each,
+reports the members ``q`` with ``(I⁻_q, id_q) <lex (I⁻_p, id_p)`` and
+``I⁺_q ≥ I⁻_p + τ`` (the same temporal predicate as ``durableBallQ``).
+
+Boxes carry per-side openness flags because Algorithm 5 partitions the
+neighbourhood of ``p`` into *half-open* unit cubes (so each point falls
+in exactly one cube).
+
+Leaves are plain sorted arrays with prefix-max-end pruning — a
+deliberate simplification over a third nested logarithmic structure
+(DESIGN.md note 7): emptiness tests stay ``O(1)`` per node and
+enumeration is a filtered scan of the stab prefix.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ValidationError
+
+__all__ = ["Box", "Side", "StabArray", "RangeTree", "box_intersect", "closed_box"]
+
+_INF = float("inf")
+
+#: One side of a box: (lo, lo_open, hi, hi_open).
+Side = Tuple[float, bool, float, bool]
+#: An axis-aligned box: one Side per dimension.
+Box = Sequence[Side]
+
+
+def closed_box(lows: Sequence[float], highs: Sequence[float]) -> List[Side]:
+    """A fully closed box ``[lo_i, hi_i]`` per dimension."""
+    return [(float(lo), False, float(hi), False) for lo, hi in zip(lows, highs)]
+
+
+def box_intersect(a: Box, b: Box) -> Optional[List[Side]]:
+    """Intersection of two boxes (``None`` when provably empty)."""
+    out: List[Side] = []
+    for (alo, alo_o, ahi, ahi_o), (blo, blo_o, bhi, bhi_o) in zip(a, b):
+        if alo > blo or (alo == blo and alo_o):
+            lo, lo_o = alo, alo_o
+        else:
+            lo, lo_o = blo, blo_o
+        if ahi < bhi or (ahi == bhi and ahi_o):
+            hi, hi_o = ahi, ahi_o
+        else:
+            hi, hi_o = bhi, bhi_o
+        if lo > hi or (lo == hi and (lo_o or hi_o)):
+            return None
+        out.append((lo, lo_o, hi, hi_o))
+    return out
+
+
+class StabArray:
+    """Leaf-level temporal index: members sorted by ``(start, id)``.
+
+    Supports the ``durableBallQ`` predicate over a prefix of the sort
+    order with optional upper end bound (the ``Λ`` band of Section 4).
+    """
+
+    __slots__ = ("keys", "ends", "ids", "prefix_max_end")
+
+    def __init__(self, items: Sequence[Tuple[float, int, float]]) -> None:
+        """``items``: ``(start, id, end)`` triples (any order)."""
+        ordered = sorted(items, key=lambda t: (t[0], t[1]))
+        self.keys = [(t[0], t[1]) for t in ordered]
+        self.ends = [t[2] for t in ordered]
+        self.ids = [t[1] for t in ordered]
+        best = -_INF
+        self.prefix_max_end: List[float] = []
+        for e in self.ends:
+            if e > best:
+                best = e
+            self.prefix_max_end.append(best)
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def prefix_len(self, key: Tuple[float, int]) -> int:
+        return bisect.bisect_left(self.keys, key)
+
+    def has_match(self, key: Tuple[float, int], y_lo: float) -> bool:
+        """``O(log)`` emptiness test for the unbounded-end predicate."""
+        t = self.prefix_len(key)
+        return t > 0 and self.prefix_max_end[t - 1] >= y_lo
+
+    def collect(
+        self,
+        key: Tuple[float, int],
+        y_lo: float,
+        y_hi: float = _INF,
+        limit: Optional[int] = None,
+    ) -> List[int]:
+        """Member ids with ``(start, id) < key`` and ``end ∈ [y_lo, y_hi)``."""
+        t = self.prefix_len(key)
+        if t == 0 or self.prefix_max_end[t - 1] < y_lo:
+            return []
+        out: List[int] = []
+        for pos in range(t):
+            e = self.ends[pos]
+            if y_lo <= e < y_hi:
+                out.append(self.ids[pos])
+                if limit is not None and len(out) >= limit:
+                    break
+        return out
+
+
+class _AxisNode:
+    __slots__ = ("coords", "size", "children")
+
+    def __init__(self) -> None:
+        self.coords: List[float] = []
+        self.size = 1
+        self.children: List[object] = []
+
+
+class RangeTree:
+    """Nested range tree over ``(point, lifespan)`` records (``D_R``)."""
+
+    def __init__(
+        self,
+        points,
+        starts: Sequence[float],
+        ends: Sequence[float],
+        ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        import numpy as np
+
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or len(pts) == 0:
+            raise ValidationError("points must be a non-empty (n, d) array")
+        if ids is None:
+            ids = range(len(pts))
+        self.dim = pts.shape[1]
+        items = [
+            (tuple(map(float, pts[i])), float(starts[i]), float(ends[i]), int(pid))
+            for i, pid in enumerate(ids)
+        ]
+        self._root = self._build_axis(items, axis=0)
+
+    # ------------------------------------------------------------------
+    def _build_axis(self, items, axis: int):
+        node = _AxisNode()
+        items = sorted(items, key=lambda t: t[0][axis])
+        node.coords = [t[0][axis] for t in items]
+        m = len(items)
+        size = 1
+        while size < max(m, 1):
+            size *= 2
+        node.size = size
+        node.children = [None] * (2 * size)
+        last = axis == self.dim - 1
+        self._fill(node, items, 1, 0, size, axis, last)
+        return node
+
+    def _fill(self, node: _AxisNode, items, v: int, lo: int, hi: int, axis: int, last: bool) -> None:
+        m = len(items)
+        if lo >= m:
+            return
+        slice_items = items[lo:min(hi, m)]
+        if last:
+            node.children[v] = StabArray(
+                [(s, pid, e) for (_, s, e, pid) in slice_items]
+            )
+        else:
+            node.children[v] = self._build_axis(slice_items, axis + 1)
+        if hi - lo > 1:
+            mid = (lo + hi) // 2
+            self._fill(node, items, 2 * v, lo, mid, axis, last)
+            self._fill(node, items, 2 * v + 1, mid, hi, axis, last)
+
+    # ------------------------------------------------------------------
+    def query_nodes(self, box: Box) -> List[StabArray]:
+        """The ``O(log^d n)`` canonical leaves covering ``box``."""
+        if len(box) != self.dim:
+            raise ValidationError(
+                f"box has {len(box)} sides, expected {self.dim}"
+            )
+        out: List[StabArray] = []
+        self._query_axis(self._root, box, 0, out)
+        return out
+
+    def _query_axis(self, node: _AxisNode, box: Box, axis: int, out: List[StabArray]) -> None:
+        lo, lo_open, hi, hi_open = box[axis]
+        coords = node.coords
+        lo_pos = (
+            bisect.bisect_right(coords, lo) if lo_open else bisect.bisect_left(coords, lo)
+        )
+        hi_pos = (
+            bisect.bisect_left(coords, hi) if hi_open else bisect.bisect_right(coords, hi)
+        )
+        if lo_pos >= hi_pos:
+            return
+        last = axis == self.dim - 1
+        a = node.size + lo_pos
+        b = node.size + hi_pos
+        while a < b:
+            if a & 1:
+                self._emit(node.children[a], box, axis, last, out)
+                a += 1
+            if b & 1:
+                b -= 1
+                self._emit(node.children[b], box, axis, last, out)
+            a //= 2
+            b //= 2
+
+    def _emit(self, child, box: Box, axis: int, last: bool, out: List[StabArray]) -> None:
+        if child is None:
+            return
+        if last:
+            out.append(child)
+        else:
+            self._query_axis(child, box, axis + 1, out)

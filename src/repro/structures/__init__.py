@@ -1,0 +1,19 @@
+"""Assembled multi-level structures: D, D' and friends (Section 2.2)."""
+
+from .decomposition import GEOMETRY_SLACK, CanonicalGroup, SpatialDecomposition
+from .durable_ball import (
+    BallSubset,
+    DurableBallStructure,
+    SplitBallSubset,
+    make_decomposition,
+)
+
+__all__ = [
+    "GEOMETRY_SLACK",
+    "CanonicalGroup",
+    "SpatialDecomposition",
+    "BallSubset",
+    "DurableBallStructure",
+    "SplitBallSubset",
+    "make_decomposition",
+]

@@ -1,0 +1,307 @@
+"""Canonical-run dominance reporting over lifespans.
+
+This module implements the temporal layer of the durable-ball structures
+``D`` and ``D'`` (Section 2.2 of the paper).  For the canonical ball of a
+cover-tree node we must answer, given an anchor ``p`` with lifespan
+``I_p = [sp, ep]`` and durability ``τ``:
+
+    report every member ``q`` with  ``(I⁻_q, id_q) <lex (sp, id_p)``
+    and ``I⁺_q ≥ sp + τ``            (``durableBallQ``)
+
+and, for the incremental algorithms (``durableBallQ'``), split the result
+into
+
+    ``Λ   = { q : sp + τ  ≤ I⁺_q < sp + τ≺ }``  (ends inside the delta window)
+    ``Λ̄  = { q : I⁺_q ≥ sp + τ≺ }``            (long-lived witnesses)
+
+The structure is a merge-sort tree: members sorted by ``(start, id)``;
+an implicit segment tree over that order; each segment node stores its
+members sorted by ``end`` *descending*.  A query decomposes the
+``(start, id)``-prefix into ``O(log m)`` segment nodes and, inside each,
+the qualifying members form a contiguous *run* of the end-descending
+array.  Runs are the paper's "implicit representation" of canonical
+subsets: counting is ``O(log² m)``, enumeration is output-sensitive, and
+merging runs lazily yields members in globally descending ``I⁺`` order
+(needed by ``ReportSUMPair``, Algorithm 4).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+__all__ = ["Run", "RunSet", "DominanceIndex"]
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True, slots=True)
+class Run:
+    """A contiguous slice ``[lo, hi)`` of one segment node's end-descending array."""
+
+    node: int
+    lo: int
+    hi: int
+
+    @property
+    def count(self) -> int:
+        return self.hi - self.lo
+
+
+class RunSet:
+    """The result of a dominance query: a set of runs over one index.
+
+    Supports counting, plain enumeration, lazy descending-``I⁺``
+    enumeration, and bounded "first k" extraction (used by the
+    ``DetectTriangle`` cardinality tests, which only ever need to know
+    whether a set has 0, 1, or ≥ 2 members).
+    """
+
+    __slots__ = ("_index", "_runs", "_count")
+
+    def __init__(self, index: "DominanceIndex", runs: List[Run]) -> None:
+        self._index = index
+        self._runs = runs
+        self._count = sum(r.hi - r.lo for r in runs)
+
+    @property
+    def count(self) -> int:
+        """Number of qualifying members."""
+        return self._count
+
+    @property
+    def is_empty(self) -> bool:
+        return self._count == 0
+
+    @property
+    def runs(self) -> Sequence[Run]:
+        return self._runs
+
+    def ids(self) -> List[int]:
+        """Materialise all qualifying member ids (output-sensitive)."""
+        out: List[int] = []
+        nodes = self._index._node_ids
+        for r in self._runs:
+            out.extend(nodes[r.node][r.lo : r.hi])
+        return out
+
+    def first_ids(self, k: int) -> List[int]:
+        """Up to ``k`` qualifying ids, touching only ``O(k)`` entries."""
+        out: List[int] = []
+        nodes = self._index._node_ids
+        for r in self._runs:
+            take = min(k - len(out), r.hi - r.lo)
+            if take > 0:
+                out.extend(nodes[r.node][r.lo : r.lo + take])
+            if len(out) >= k:
+                break
+        return out
+
+    def iter_desc_by_end(self) -> Iterator[Tuple[float, int]]:
+        """Yield ``(end, id)`` lazily in descending ``end`` order.
+
+        Implemented as a heap merge of the runs (each run is already
+        end-descending); ``O(log r)`` per yielded item for ``r`` runs.
+        """
+        ends = self._index._node_ends
+        ids = self._index._node_ids
+        heap: List[Tuple[float, int, int, int, int]] = []
+        for r in self._runs:
+            if r.lo < r.hi:
+                heap.append(
+                    (-ends[r.node][r.lo], ids[r.node][r.lo], r.node, r.lo, r.hi)
+                )
+        heapq.heapify(heap)
+        while heap:
+            neg_end, pid, node, pos, hi = heapq.heappop(heap)
+            yield (-neg_end, pid)
+            nxt = pos + 1
+            if nxt < hi:
+                heapq.heappush(
+                    heap, (-ends[node][nxt], ids[node][nxt], node, nxt, hi)
+                )
+
+
+class DominanceIndex:
+    """Static merge-sort tree over ``(start, end, id)`` lifespan records.
+
+    Parameters
+    ----------
+    starts, ends, ids:
+        Parallel sequences describing the members of one canonical group.
+        ``ids`` are global point identifiers (used for tie-breaking and
+        reporting).
+    """
+
+    __slots__ = (
+        "_m",
+        "_size",
+        "_keys",
+        "_order",
+        "_node_ends",
+        "_node_ids",
+        "max_end",
+        "member_ids",
+    )
+
+    def __init__(
+        self,
+        starts: Sequence[float],
+        ends: Sequence[float],
+        ids: Sequence[int],
+    ) -> None:
+        m = len(starts)
+        if not (len(ends) == len(ids) == m):
+            raise ValueError("starts/ends/ids must have equal length")
+        order = sorted(range(m), key=lambda i: (starts[i], ids[i]))
+        self._m = m
+        self._order = [ids[i] for i in order]
+        self._keys: List[Tuple[float, int]] = [
+            (starts[i], ids[i]) for i in order
+        ]
+        # Implicit segment tree over positions [0, m): node 1 is the root,
+        # leaves are nodes [size, size + m).  Each node stores its range's
+        # (end, id) pairs sorted by end descending, id ascending.
+        size = 1
+        while size < max(m, 1):
+            size *= 2
+        self._size = size
+        node_ends: List[List[float]] = [[] for _ in range(2 * size)]
+        node_ids: List[List[int]] = [[] for _ in range(2 * size)]
+        for pos, i in enumerate(order):
+            node_ends[size + pos] = [float(ends[i])]
+            node_ids[size + pos] = [ids[i]]
+        for node in range(size - 1, 0, -1):
+            le, li = node_ends[2 * node], node_ids[2 * node]
+            re, ri = node_ends[2 * node + 1], node_ids[2 * node + 1]
+            merged_e: List[float] = []
+            merged_i: List[int] = []
+            a = b = 0
+            while a < len(le) and b < len(re):
+                if (-le[a], li[a]) <= (-re[b], ri[b]):
+                    merged_e.append(le[a])
+                    merged_i.append(li[a])
+                    a += 1
+                else:
+                    merged_e.append(re[b])
+                    merged_i.append(ri[b])
+                    b += 1
+            merged_e.extend(le[a:])
+            merged_i.extend(li[a:])
+            merged_e.extend(re[b:])
+            merged_i.extend(ri[b:])
+            node_ends[node] = merged_e
+            node_ids[node] = merged_i
+        self._node_ends = node_ends
+        self._node_ids = node_ids
+        self.max_end = max((float(e) for e in ends), default=-_INF)
+        self.member_ids = list(ids)
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._m
+
+    def _prefix_len(self, key: Tuple[float, int]) -> int:
+        """Number of members with ``(start, id)`` lexicographically < ``key``."""
+        import bisect
+
+        return bisect.bisect_left(self._keys, key)
+
+    def _prefix_nodes(self, t: int) -> List[int]:
+        """Decompose positions ``[0, t)`` into canonical segment-tree nodes."""
+        out: List[int] = []
+        lo = self._size
+        hi = self._size + t
+        while lo < hi:
+            if lo & 1:
+                out.append(lo)
+                lo += 1
+            if hi & 1:
+                hi -= 1
+                out.append(hi)
+            lo //= 2
+            hi //= 2
+        return out
+
+    @staticmethod
+    def _first_below(desc: List[float], y: float) -> int:
+        """First index of an end-descending list whose value is < ``y``.
+
+        Equivalently the count of entries ≥ ``y``.
+        """
+        lo, hi = 0, len(desc)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if desc[mid] >= y:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def stab(
+        self,
+        key: Tuple[float, int],
+        end_at_least: float,
+        end_below: float = _INF,
+    ) -> RunSet:
+        """Members with ``(start, id) < key`` and ``end ∈ [end_at_least, end_below)``.
+
+        With ``end_below = +inf`` this is exactly the ``durableBallQ``
+        temporal predicate; with a finite upper bound it produces the
+        ``Λ`` sets of ``durableBallQ'`` (Section 4.1, Figure 2).
+        """
+        t = self._prefix_len(key)
+        runs: List[Run] = []
+        if t:
+            for node in self._prefix_nodes(t):
+                desc = self._node_ends[node]
+                if not desc or desc[0] < end_at_least:
+                    continue
+                lo = 0 if end_below == _INF else self._first_below(desc, end_below)
+                hi = self._first_below(desc, end_at_least)
+                if lo < hi:
+                    runs.append(Run(node, lo, hi))
+        return RunSet(self, runs)
+
+    def stab_split(
+        self,
+        key: Tuple[float, int],
+        end_at_least: float,
+        end_split: float,
+    ) -> Tuple[RunSet, RunSet]:
+        """``durableBallQ'``: return ``(Λ, Λ̄)`` for the split threshold.
+
+        ``Λ`` holds members whose end lies in ``[end_at_least, end_split)``
+        and ``Λ̄`` those with end ``≥ end_split``; both restricted to the
+        ``(start, id) < key`` prefix.
+        """
+        t = self._prefix_len(key)
+        low_runs: List[Run] = []
+        high_runs: List[Run] = []
+        if t:
+            for node in self._prefix_nodes(t):
+                desc = self._node_ends[node]
+                if not desc or desc[0] < end_at_least:
+                    continue
+                a = self._first_below(desc, end_split)
+                b = self._first_below(desc, end_at_least)
+                if a > 0:
+                    high_runs.append(Run(node, 0, a))
+                if a < b:
+                    low_runs.append(Run(node, a, b))
+        return RunSet(self, low_runs), RunSet(self, high_runs)
+
+    def count(
+        self,
+        key: Tuple[float, int],
+        end_at_least: float,
+        end_below: float = _INF,
+    ) -> int:
+        """Count without materialising runs (``O(log² m)``)."""
+        return self.stab(key, end_at_least, end_below).count

@@ -1,0 +1,164 @@
+"""Closed time intervals (point lifespans).
+
+The paper annotates every point ``p`` with a lifespan ``I_p = [I⁻_p, I⁺_p]``
+(Section 1.1).  This module provides the :class:`Interval` value type and
+the handful of primitive operations the algorithms rely on: length,
+intersection, union length and stabbing tests.
+
+Intervals are closed and may be degenerate (``start == end``), in which
+case their length is zero.  An *empty* interval (no point at all) is
+represented by :data:`EMPTY_INTERVAL` and has negative extent; all
+operations treat it consistently (zero length, absorbing for
+intersection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from ..errors import ValidationError
+
+__all__ = ["Interval", "EMPTY_INTERVAL", "intersect_many", "union_length"]
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A closed interval ``[start, end]`` on the time axis.
+
+    Instances are immutable and ordered lexicographically by
+    ``(start, end)`` which matches the sort orders used throughout the
+    index structures.
+    """
+
+    start: float
+    end: float
+
+    # ------------------------------------------------------------------
+    # Constructors / validation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def checked(start: float, end: float) -> "Interval":
+        """Build an interval, raising :class:`ValidationError` if ``end < start``."""
+        if end < start:
+            raise ValidationError(
+                f"interval end ({end!r}) precedes start ({start!r})"
+            )
+        return Interval(float(start), float(end))
+
+    # ------------------------------------------------------------------
+    # Basic predicates
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        """True when the interval contains no point."""
+        return self.end < self.start
+
+    @property
+    def length(self) -> float:
+        """``|I|`` — the measure of the interval (0 for degenerate/empty)."""
+        return self.end - self.start if self.end > self.start else 0.0
+
+    def contains_point(self, t: float) -> bool:
+        """True when ``t ∈ [start, end]``."""
+        return self.start <= t <= self.end
+
+    def contains(self, other: "Interval") -> bool:
+        """True when ``other ⊆ self`` (empty intervals are contained in all)."""
+        if other.is_empty:
+            return True
+        return self.start <= other.start and other.end <= self.end
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the two closed intervals share at least one point."""
+        if self.is_empty or other.is_empty:
+            return False
+        return self.start <= other.end and other.start <= self.end
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+    def intersect(self, other: "Interval") -> "Interval":
+        """The intersection interval; :data:`EMPTY_INTERVAL` when disjoint."""
+        lo = self.start if self.start >= other.start else other.start
+        hi = self.end if self.end <= other.end else other.end
+        if hi < lo:
+            return EMPTY_INTERVAL
+        return Interval(lo, hi)
+
+    def intersection_length(self, other: "Interval") -> float:
+        """``|self ∩ other|`` without allocating an interval."""
+        lo = self.start if self.start >= other.start else other.start
+        hi = self.end if self.end <= other.end else other.end
+        return hi - lo if hi > lo else 0.0
+
+    def clip(self, lo: float, hi: float) -> "Interval":
+        """The intersection with ``[lo, hi]``."""
+        return self.intersect(Interval(lo, hi))
+
+    def shift(self, delta: float) -> "Interval":
+        """The interval translated by ``delta``."""
+        return Interval(self.start + delta, self.end + delta)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.start
+        yield self.end
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_empty:
+            return "Interval(empty)"
+        return f"Interval({self.start:g}, {self.end:g})"
+
+
+#: Canonical empty interval (positive start, negative end).
+EMPTY_INTERVAL = Interval(float("inf"), float("-inf"))
+
+
+def intersect_many(intervals: Iterable[Interval]) -> Interval:
+    """Intersection of any number of intervals (``EMPTY_INTERVAL`` if none survive).
+
+    This is the triangle-lifespan operation
+    ``I(p1, p2, p3) = I_{p1} ∩ I_{p2} ∩ I_{p3}`` of Section 1.1, generalised
+    to any arity (used for cliques, paths and stars in Appendix D).
+    """
+    lo = float("-inf")
+    hi = float("inf")
+    saw_any = False
+    for iv in intervals:
+        saw_any = True
+        if iv.start > lo:
+            lo = iv.start
+        if iv.end < hi:
+            hi = iv.end
+        if hi < lo:
+            return EMPTY_INTERVAL
+    if not saw_any:
+        return EMPTY_INTERVAL
+    return Interval(lo, hi)
+
+
+def union_length(intervals: Iterable[Interval]) -> float:
+    """Length of the union of a collection of intervals.
+
+    Implements ``|I|`` for a *set* of intervals as defined in Section 1.1
+    ("If I is a set of intervals then |I| is the length of the union").
+    Runs in ``O(k log k)`` for ``k`` intervals.
+    """
+    spans = sorted(
+        (iv.start, iv.end) for iv in intervals if not iv.is_empty and iv.end > iv.start
+    )
+    total = 0.0
+    cur_lo: Optional[float] = None
+    cur_hi = 0.0
+    for lo, hi in spans:
+        if cur_lo is None:
+            cur_lo, cur_hi = lo, hi
+        elif lo <= cur_hi:
+            if hi > cur_hi:
+                cur_hi = hi
+        else:
+            total += cur_hi - cur_lo
+            cur_lo, cur_hi = lo, hi
+    if cur_lo is not None:
+        total += cur_hi - cur_lo
+    return total

@@ -1,0 +1,173 @@
+"""Classic interval tree (Section 2.1).
+
+A balanced, static interval tree over closed intervals supporting
+stabbing and overlap queries.  Reporting is output-sensitive
+(``O(log n + OUT)``); counting uses the complement trick over two global
+sorted endpoint arrays (``O(log n)``), since for ``a ≤ b``::
+
+    #{I : I ∩ [a,b] ≠ ∅} = n − #{I : I⁺ < a} − #{I : I⁻ > b}
+
+and the two discarded sets are disjoint.
+
+The tree is the foundation of the SUM-annotated variant ``ITΣ``
+(:mod:`repro.temporal.sum_index`).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ValidationError
+
+__all__ = ["IntervalTree"]
+
+
+class _Node:
+    __slots__ = ("center", "starts", "ids_by_start", "ends_desc", "ids_by_end", "left", "right")
+
+    def __init__(self, center: float) -> None:
+        self.center = center
+        # Intervals stored at this node (they all contain ``center``),
+        # viewed twice: sorted by start ascending and by end descending.
+        self.starts: List[float] = []
+        self.ids_by_start: List[int] = []
+        self.ends_desc: List[float] = []
+        self.ids_by_end: List[int] = []
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+
+
+def _build(items: List[Tuple[float, float, int]]) -> Optional[_Node]:
+    if not items:
+        return None
+    endpoints = sorted(x for iv in items for x in (iv[0], iv[1]))
+    center = endpoints[len(endpoints) // 2]
+    node = _Node(center)
+    here: List[Tuple[float, float, int]] = []
+    left_items: List[Tuple[float, float, int]] = []
+    right_items: List[Tuple[float, float, int]] = []
+    for lo, hi, pid in items:
+        if hi < center:
+            left_items.append((lo, hi, pid))
+        elif lo > center:
+            right_items.append((lo, hi, pid))
+        else:
+            here.append((lo, hi, pid))
+    here_by_start = sorted(here, key=lambda t: (t[0], t[2]))
+    node.starts = [t[0] for t in here_by_start]
+    node.ids_by_start = [t[2] for t in here_by_start]
+    here_by_end = sorted(here, key=lambda t: (-t[1], t[2]))
+    node.ends_desc = [t[1] for t in here_by_end]
+    node.ids_by_end = [t[2] for t in here_by_end]
+    node.left = _build(left_items)
+    node.right = _build(right_items)
+    return node
+
+
+class IntervalTree:
+    """Static interval tree over closed intervals.
+
+    Parameters
+    ----------
+    intervals:
+        ``(start, end)`` pairs; ``end >= start`` is required.
+    ids:
+        Optional identifiers reported by queries; defaults to positions.
+    """
+
+    def __init__(
+        self,
+        intervals: Sequence[Tuple[float, float]],
+        ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        if ids is None:
+            ids = range(len(intervals))
+        items: List[Tuple[float, float, int]] = []
+        for (lo, hi), pid in zip(intervals, ids):
+            if hi < lo:
+                raise ValidationError(f"interval end ({hi!r}) precedes start ({lo!r})")
+            items.append((float(lo), float(hi), int(pid)))
+        self._n = len(items)
+        self._root = _build(items)
+        self._all_starts = sorted(t[0] for t in items)
+        self._all_ends = sorted(t[1] for t in items)
+
+    def __len__(self) -> int:
+        return self._n
+
+    # ------------------------------------------------------------------
+    # Stabbing
+    # ------------------------------------------------------------------
+    def stab(self, t: float) -> List[int]:
+        """Ids of all intervals containing time ``t`` (output-sensitive)."""
+        out: List[int] = []
+        node = self._root
+        while node is not None:
+            if t < node.center:
+                k = bisect.bisect_right(node.starts, t)
+                out.extend(node.ids_by_start[:k])
+                node = node.left
+            elif t > node.center:
+                k = self._count_ge(node.ends_desc, t)
+                out.extend(node.ids_by_end[:k])
+                node = node.right
+            else:
+                out.extend(node.ids_by_start)
+                break
+        return out
+
+    def count_stab(self, t: float) -> int:
+        """Number of intervals containing ``t`` (``O(log n)``)."""
+        below = bisect.bisect_left(self._all_ends, t)
+        above = self._n - bisect.bisect_right(self._all_starts, t)
+        return self._n - below - above
+
+    # ------------------------------------------------------------------
+    # Overlap with a query interval
+    # ------------------------------------------------------------------
+    def report_overlapping(self, a: float, b: float) -> List[int]:
+        """Ids of all intervals intersecting ``[a, b]`` (output-sensitive)."""
+        if b < a:
+            return []
+        out: List[int] = []
+        self._collect(self._root, a, b, out)
+        return out
+
+    def count_overlapping(self, a: float, b: float) -> int:
+        """Number of intervals intersecting ``[a, b]`` (``O(log n)``)."""
+        if b < a:
+            return 0
+        below = bisect.bisect_left(self._all_ends, a)
+        above = self._n - bisect.bisect_right(self._all_starts, b)
+        return self._n - below - above
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _count_ge(desc: List[float], t: float) -> int:
+        """Entries ≥ t in a descending-sorted list (they form a prefix)."""
+        lo, hi = 0, len(desc)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if desc[mid] >= t:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _collect(self, node: Optional[_Node], a: float, b: float, out: List[int]) -> None:
+        while node is not None:
+            if b < node.center:
+                k = bisect.bisect_right(node.starts, b)
+                out.extend(node.ids_by_start[:k])
+                node = node.left
+            elif a > node.center:
+                k = self._count_ge(node.ends_desc, a)
+                out.extend(node.ids_by_end[:k])
+                node = node.right
+            else:
+                out.extend(node.ids_by_start)
+                self._collect(node.left, a, b, out)
+                node = node.right

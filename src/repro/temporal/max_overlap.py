@@ -1,0 +1,229 @@
+"""Max-overlap structures — ``IT∪`` (Section 5.2, Appendix E).
+
+``ComputeMaxUnionD`` must find, for a query interval ``J``, the indexed
+interval maximising ``|I ∩ J|``.  Appendix E decomposes the optimum into
+three candidates:
+
+* among intervals stabbing ``J⁻``: the one with the largest right end;
+* among intervals stabbing ``J⁺``: the one with the smallest left end;
+* among intervals contained in ``J``: the longest one.
+
+The greedy max-κ-coverage loop of Algorithm 8 must additionally *skip*
+the lifespans of the pair ``(p, q)`` under evaluation, so every
+candidate list is maintained as a top-3 (three best, distinct ids):
+excluding at most two ids always leaves the true best reachable.
+
+Structures:
+
+* :class:`MaxOverlapIndex` — per canonical group; ``best_overlap``
+  answers the three-candidate query with exclusions in ``O(log² m)``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ValidationError
+
+__all__ = ["MaxOverlapIndex", "OverlapCandidate"]
+
+#: ``(overlap_length, point_id, start, end)`` of the winning interval.
+OverlapCandidate = Tuple[float, int, float, float]
+
+_Entry = Tuple[float, int, float, float]  # (value, id, start, end)
+
+
+def _push_top3(top: List[_Entry], entry: _Entry) -> List[_Entry]:
+    """Insert into a best-first top-3 list ordered by descending value."""
+    out = list(top)
+    out.append(entry)
+    out.sort(key=lambda e: (-e[0], e[1]))
+    return out[:3]
+
+
+class _PrefixTop3:
+    """For a fixed ordering of items, ``best(i)`` = top-3 among the first i."""
+
+    __slots__ = ("_tables",)
+
+    def __init__(self, entries: Sequence[_Entry]) -> None:
+        tables: List[List[_Entry]] = [[]]
+        cur: List[_Entry] = []
+        for e in entries:
+            cur = _push_top3(cur, e)
+            tables.append(cur)
+        self._tables = tables
+
+    def best(self, prefix_len: int) -> List[_Entry]:
+        return self._tables[prefix_len]
+
+
+class _ContainedTree:
+    """Merge-sort tree for "longest interval contained in [a, b]" queries.
+
+    Items sorted by start ascending; an implicit segment tree over that
+    order; each segment node keeps its items sorted by end ascending with
+    prefix-top-3 by *length*.  A query takes the start-suffix
+    ``start ≥ a`` (``O(log m)`` nodes) and, inside each node, the
+    end-prefix ``end ≤ b``.
+    """
+
+    __slots__ = ("_size", "_m", "_starts", "_node_ends", "_node_top")
+
+    def __init__(self, items: Sequence[Tuple[float, float, int]]) -> None:
+        ordered = sorted(items, key=lambda t: (t[0], t[2]))
+        m = len(ordered)
+        self._m = m
+        self._starts = [t[0] for t in ordered]
+        size = 1
+        while size < max(m, 1):
+            size *= 2
+        self._size = size
+        node_items: List[List[Tuple[float, float, int]]] = [[] for _ in range(2 * size)]
+        for pos, (lo, hi, pid) in enumerate(ordered):
+            node_items[size + pos] = [(lo, hi, pid)]
+        for node in range(size - 1, 0, -1):
+            both = node_items[2 * node] + node_items[2 * node + 1]
+            both.sort(key=lambda t: (t[1], t[2]))
+            node_items[node] = both
+        self._node_ends: List[List[float]] = [
+            [t[1] for t in items_] for items_ in node_items
+        ]
+        self._node_top: List[_PrefixTop3] = [
+            _PrefixTop3([(hi - lo, pid, lo, hi) for lo, hi, pid in items_])
+            for items_ in node_items
+        ]
+
+    def candidates(self, a: float, b: float) -> List[_Entry]:
+        """Top candidates (value = interval length) contained in ``[a, b]``."""
+        t = bisect.bisect_left(self._starts, a)
+        if t >= self._m:
+            return []
+        out: List[_Entry] = []
+        lo = self._size + t
+        hi = self._size + self._m
+        nodes: List[int] = []
+        while lo < hi:
+            if lo & 1:
+                nodes.append(lo)
+                lo += 1
+            if hi & 1:
+                hi -= 1
+                nodes.append(hi)
+            lo //= 2
+            hi //= 2
+        best: List[_Entry] = []
+        for node in nodes:
+            k = bisect.bisect_right(self._node_ends[node], b)
+            for entry in self._node_top[node].best(k):
+                best = _push_top3(best, entry)
+        out.extend(best)
+        return out
+
+
+class MaxOverlapIndex:
+    """``IT∪`` for one canonical group (Appendix E).
+
+    Parameters
+    ----------
+    starts, ends, ids:
+        Parallel arrays of member lifespans and global point ids.
+    """
+
+    __slots__ = ("_m", "_starts_asc", "_top_end_by_start", "_ends_desc", "_top_start_by_end", "_contained")
+
+    def __init__(
+        self,
+        starts: Sequence[float],
+        ends: Sequence[float],
+        ids: Sequence[int],
+    ) -> None:
+        m = len(starts)
+        if not (len(ends) == len(ids) == m):
+            raise ValidationError("starts/ends/ids must have equal length")
+        items = [
+            (float(s), float(e), int(i)) for s, e, i in zip(starts, ends, ids)
+        ]
+        for s, e, _ in items:
+            if e < s:
+                raise ValidationError(f"interval end ({e!r}) precedes start ({s!r})")
+        self._m = m
+        # Candidate (a): stab J⁻, maximise end.  Sorted by start asc.
+        by_start = sorted(items, key=lambda t: (t[0], t[2]))
+        self._starts_asc = [t[0] for t in by_start]
+        self._top_end_by_start = _PrefixTop3(
+            [(hi, pid, lo, hi) for lo, hi, pid in by_start]
+        )
+        # Candidate (b): stab J⁺, minimise start.  Sorted by end desc;
+        # top-3 value = −start so the "best" is the smallest start.
+        by_end_desc = sorted(items, key=lambda t: (-t[1], t[2]))
+        self._ends_desc = [t[1] for t in by_end_desc]
+        self._top_start_by_end = _PrefixTop3(
+            [(-lo, pid, lo, hi) for lo, hi, pid in by_end_desc]
+        )
+        # Candidate (c): longest contained interval.
+        self._contained = _ContainedTree(items)
+
+    def __len__(self) -> int:
+        return self._m
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _count_ge(desc: List[float], t: float) -> int:
+        lo, hi = 0, len(desc)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if desc[mid] >= t:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def best_overlap(
+        self,
+        a: float,
+        b: float,
+        exclude: Optional[Set[int]] = None,
+    ) -> Optional[OverlapCandidate]:
+        """The member interval maximising ``|I ∩ [a, b]|``.
+
+        ``exclude`` may hold up to two point ids (the pair being
+        evaluated) whose lifespans must not be used as witnesses.
+        Returns ``None`` when no non-excluded member intersects ``[a,b]``
+        with positive overlap.
+        """
+        if b <= a or self._m == 0:
+            return None
+        excl: Set[int] = exclude or set()
+        best: Optional[OverlapCandidate] = None
+
+        # (a) stab a, maximise end.
+        k = bisect.bisect_right(self._starts_asc, a)
+        for value, pid, lo, hi in self._top_end_by_start.best(k):
+            if pid in excl or value < a:
+                continue
+            overlap = min(hi, b) - a
+            if overlap > 0 and (best is None or overlap > best[0]):
+                best = (overlap, pid, lo, hi)
+            break  # entries are end-descending; the first usable is optimal
+
+        # (b) stab b, minimise start.
+        k = self._count_ge(self._ends_desc, b)
+        for neg_start, pid, lo, hi in self._top_start_by_end.best(k):
+            if pid in excl or -neg_start > b:
+                continue
+            overlap = b - max(lo, a)
+            if overlap > 0 and (best is None or overlap > best[0]):
+                best = (overlap, pid, lo, hi)
+            break
+
+        # (c) longest contained.
+        for value, pid, lo, hi in self._contained.candidates(a, b):
+            if pid in excl:
+                continue
+            if value > 0 and (best is None or value > best[0]):
+                best = (value, pid, lo, hi)
+            break
+
+        return best

@@ -1,0 +1,207 @@
+"""Core value types: temporal point sets and pattern records.
+
+:class:`TemporalPointSet` is the library's representation of the paper's
+input ``(P, φ, I)`` (Section 1.1): points embedded in ``R^d``, a metric,
+and one lifespan interval per point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .errors import ValidationError
+from .geometry.metrics import Metric, MetricSpec, get_metric
+from .temporal.interval import Interval, intersect_many
+
+__all__ = ["TemporalPointSet", "TriangleRecord", "PairRecord", "PatternRecord"]
+
+
+class TemporalPointSet:
+    """The paper's input ``(P, φ, I)``: embedded points with lifespans.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` array of embedding coordinates.
+    starts, ends:
+        Lifespan endpoints ``I⁻_p`` / ``I⁺_p`` per point (``ends ≥ starts``).
+    metric:
+        Metric specification (name, ``("lp", α)`` tuple, :class:`Metric`
+        instance, or callable); defaults to ``ℓ2``.
+
+    The proximity graph ``G_φ(P)`` connects two points at metric distance
+    at most ``1`` — as in the paper we normalise the distance threshold
+    ``r`` to 1; rescale coordinates by ``1/r`` to use other thresholds.
+    """
+
+    __slots__ = ("points", "starts", "ends", "metric", "_start_keys")
+
+    def __init__(
+        self,
+        points: Union[np.ndarray, Sequence[Sequence[float]]],
+        starts: Union[np.ndarray, Sequence[float]],
+        ends: Union[np.ndarray, Sequence[float]],
+        metric: MetricSpec = "l2",
+    ) -> None:
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim == 1:
+            pts = pts[:, None]
+        if pts.ndim != 2:
+            raise ValidationError("points must be an (n, d) array")
+        if len(pts) == 0 or pts.shape[1] == 0:
+            raise ValidationError("the point set must be non-empty")
+        s = np.asarray(starts, dtype=float).ravel()
+        e = np.asarray(ends, dtype=float).ravel()
+        if len(s) != len(pts) or len(e) != len(pts):
+            raise ValidationError(
+                f"lifespan arrays ({len(s)}, {len(e)}) do not match point count ({len(pts)})"
+            )
+        if np.any(e < s):
+            bad = int(np.argmax(e < s))
+            raise ValidationError(
+                f"point {bad} has lifespan end ({e[bad]!r}) before start ({s[bad]!r})"
+            )
+        if not (np.all(np.isfinite(pts)) and np.all(np.isfinite(s)) and np.all(np.isfinite(e))):
+            raise ValidationError("points and lifespans must be finite")
+        self.points = pts
+        self.starts = s
+        self.ends = e
+        self.metric = get_metric(metric)
+        self._start_keys: Optional[List[Tuple[float, int]]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of points."""
+        return len(self.points)
+
+    @property
+    def dim(self) -> int:
+        """Ambient dimension ``d``."""
+        return self.points.shape[1]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def lifespan(self, i: int) -> Interval:
+        """Lifespan ``I_p`` of point ``i``."""
+        return Interval(float(self.starts[i]), float(self.ends[i]))
+
+    def duration(self, i: int) -> float:
+        """``|I_p|`` of point ``i``."""
+        return float(self.ends[i] - self.starts[i])
+
+    def dist(self, i: int, j: int) -> float:
+        """Metric distance between points ``i`` and ``j``."""
+        return self.metric.dist(self.points[i], self.points[j])
+
+    def anchor_key(self, i: int) -> Tuple[float, int]:
+        """The tie-broken anchor ordering key ``(I⁻, id)``.
+
+        The paper anchors patterns at the member whose lifespan starts
+        latest; we break start ties by point id (DESIGN.md note 1).
+        """
+        return (float(self.starts[i]), int(i))
+
+    def pattern_lifespan(self, members: Iterable[int]) -> Interval:
+        """``I(p_1, …, p_m) = ∩ I_{p_i}`` for a candidate pattern."""
+        return intersect_many(self.lifespan(i) for i in members)
+
+    def subset(self, ids: Sequence[int]) -> "TemporalPointSet":
+        """A new point set restricted to ``ids`` (ids are re-numbered)."""
+        ids = list(ids)
+        return TemporalPointSet(
+            self.points[ids], self.starts[ids], self.ends[ids], self.metric
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TemporalPointSet(n={self.n}, dim={self.dim}, "
+            f"metric={self.metric.name!r})"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class TriangleRecord:
+    """A reported durable triangle ``(p, q, s)`` with its lifespan.
+
+    ``anchor`` is the member with the lexicographically largest
+    ``(I⁻, id)``; ``q < s`` by point id, matching the de-duplication
+    order enforced by ``ReportTriangle`` (Algorithm 1).
+    """
+
+    anchor: int
+    q: int
+    s: int
+    lifespan: Interval
+
+    @property
+    def durability(self) -> float:
+        """``|I(p, q, s)|``."""
+        return self.lifespan.length
+
+    @property
+    def ids(self) -> Tuple[int, int, int]:
+        """Members as ``(anchor, q, s)``."""
+        return (self.anchor, self.q, self.s)
+
+    @property
+    def key(self) -> Tuple[int, int, int]:
+        """Canonical identity (sorted ids) for set comparisons."""
+        return tuple(sorted((self.anchor, self.q, self.s)))  # type: ignore[return-value]
+
+
+@dataclass(frozen=True, slots=True)
+class PairRecord:
+    """A reported aggregate-durable pair (Section 5).
+
+    ``score`` is the aggregate that crossed the durability threshold:
+    the witness SUM for AggDurablePair-SUM, or the greedily-covered
+    union length for AggDurablePair-UNION.
+    """
+
+    p: int
+    q: int
+    score: float
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        """Canonical identity (sorted ids) for set comparisons."""
+        return (self.p, self.q) if self.p < self.q else (self.q, self.p)
+
+
+@dataclass(frozen=True, slots=True)
+class PatternRecord:
+    """A reported durable pattern of Appendix D (clique, path or star).
+
+    ``kind`` is ``"clique"``, ``"path"`` or ``"star"``.  For paths the
+    member order is the path order; for stars the first member is the
+    center.
+    """
+
+    kind: str
+    members: Tuple[int, ...]
+    lifespan: Interval
+
+    @property
+    def durability(self) -> float:
+        return self.lifespan.length
+
+    @property
+    def key(self) -> Tuple[int, ...]:
+        """Canonical identity for set comparisons.
+
+        Cliques are unordered; paths are identified up to reversal;
+        stars are identified by (center, leaf set).
+        """
+        if self.kind == "clique":
+            return tuple(sorted(self.members))
+        if self.kind == "path":
+            fwd = self.members
+            rev = tuple(reversed(self.members))
+            return min(fwd, rev)
+        # star: center first, leaves unordered
+        return (self.members[0], *sorted(self.members[1:]))

@@ -1,0 +1,57 @@
+"""Shared fixtures and generators for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import TemporalPointSet
+
+# ----------------------------------------------------------------------
+# Random workload helpers (deterministic per seed)
+# ----------------------------------------------------------------------
+
+
+def random_tps(
+    n: int = 60,
+    dim: int = 2,
+    seed: int = 0,
+    metric: str = "l2",
+    box: float = 4.0,
+    horizon: float = 20.0,
+    max_len: float = 12.0,
+    integer_times: bool = True,
+) -> TemporalPointSet:
+    """A reproducible random temporal point set.
+
+    Coordinates are uniform in ``[0, box]^dim`` so that with box ≈ 4 a
+    unit-ball query sees a non-trivial neighbourhood.  Lifespans default
+    to integer endpoints to keep durability comparisons exact.
+    """
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(0.0, box, size=(n, dim))
+    if integer_times:
+        starts = rng.integers(0, int(horizon), size=n).astype(float)
+        lengths = rng.integers(0, int(max_len) + 1, size=n).astype(float)
+    else:
+        starts = rng.uniform(0, horizon, size=n)
+        lengths = rng.uniform(0, max_len, size=n)
+    return TemporalPointSet(pts, starts, starts + lengths, metric=metric)
+
+
+def random_intervals(n: int, seed: int = 0, horizon: int = 50):
+    """Random integer-endpoint (start, end) pairs."""
+    rng = np.random.default_rng(seed)
+    starts = rng.integers(0, horizon, size=n)
+    lengths = rng.integers(0, horizon // 2 + 1, size=n)
+    return [(float(s), float(s + l)) for s, l in zip(starts, lengths)]
+
+
+@pytest.fixture
+def small_tps() -> TemporalPointSet:
+    return random_tps(n=40, seed=7)
+
+
+@pytest.fixture
+def medium_tps() -> TemporalPointSet:
+    return random_tps(n=120, seed=11)

@@ -1,0 +1,118 @@
+"""Tests for the public API surface and value types."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    Interval,
+    PairRecord,
+    PatternRecord,
+    TemporalPointSet,
+    TriangleRecord,
+    ValidationError,
+    find_durable_triangles,
+    find_sum_durable_pairs,
+    find_union_durable_pairs,
+)
+from repro.baselines import brute_force_triangle_keys
+
+from conftest import random_tps
+
+
+class TestExports:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_public_items_documented(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj) and not isinstance(obj, str):
+                assert obj.__doc__, f"{name} lacks a docstring"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+
+class TestTemporalPointSet:
+    def test_validation_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            TemporalPointSet(np.zeros((3, 2)), [0, 0], [1, 1, 1])
+
+    def test_validation_inverted_lifespan(self):
+        with pytest.raises(ValidationError):
+            TemporalPointSet(np.zeros((2, 2)), [0, 5], [1, 4])
+
+    def test_validation_non_finite(self):
+        with pytest.raises(ValidationError):
+            TemporalPointSet(np.array([[np.nan, 0.0]]), [0], [1])
+
+    def test_1d_points_promoted(self):
+        tps = TemporalPointSet([1.0, 2.0, 3.0], [0, 0, 0], [1, 1, 1])
+        assert tps.dim == 1 and tps.n == 3
+
+    def test_lifespan_accessors(self):
+        tps = random_tps(n=10, seed=0)
+        assert tps.lifespan(3) == Interval(float(tps.starts[3]), float(tps.ends[3]))
+        assert tps.duration(3) == tps.lifespan(3).length
+
+    def test_anchor_key_orders_by_start_then_id(self):
+        tps = TemporalPointSet(np.zeros((3, 1)), [5, 5, 4], [9, 9, 9])
+        assert tps.anchor_key(1) > tps.anchor_key(0) > tps.anchor_key(2)
+
+    def test_subset(self):
+        tps = random_tps(n=20, seed=1)
+        sub = tps.subset([3, 5, 7])
+        assert sub.n == 3
+        assert np.array_equal(sub.points[1], tps.points[5])
+
+    def test_pattern_lifespan(self):
+        tps = TemporalPointSet(np.zeros((3, 1)), [0, 2, 4], [10, 8, 6])
+        assert tps.pattern_lifespan([0, 1, 2]) == Interval(4, 6)
+
+
+class TestRecords:
+    def test_triangle_key_sorted(self):
+        r = TriangleRecord(anchor=5, q=1, s=3, lifespan=Interval(0, 2))
+        assert r.key == (1, 3, 5)
+        assert r.durability == 2.0
+        assert r.ids == (5, 1, 3)
+
+    def test_pair_key_sorted(self):
+        assert PairRecord(p=7, q=2, score=1.0).key == (2, 7)
+
+    def test_pattern_keys(self):
+        clique = PatternRecord("clique", (3, 1, 2), Interval(0, 1))
+        assert clique.key == (1, 2, 3)
+        path = PatternRecord("path", (4, 2, 1), Interval(0, 1))
+        assert path.key == (1, 2, 4)
+        star = PatternRecord("star", (5, 4, 1), Interval(0, 1))
+        assert star.key == (5, 1, 4)
+
+
+class TestConvenienceFunctions:
+    def test_find_triangles_default(self):
+        tps = random_tps(n=50, seed=3)
+        got = {r.key for r in find_durable_triangles(tps, 2.0, epsilon=0.5)}
+        assert brute_force_triangle_keys(tps, 2.0) <= got
+
+    def test_find_triangles_auto_linf_is_exact(self):
+        tps = random_tps(n=50, seed=4, metric="linf")
+        got = {r.key for r in find_durable_triangles(tps, 2.0)}
+        assert got == brute_force_triangle_keys(tps, 2.0)
+
+    def test_find_triangles_explicit_exact_backend(self):
+        tps = random_tps(n=40, seed=5, metric="linf")
+        got = {r.key for r in find_durable_triangles(tps, 2.0, backend="linf-exact")}
+        assert got == brute_force_triangle_keys(tps, 2.0)
+
+    def test_find_sum_pairs_runs(self):
+        tps = random_tps(n=40, seed=6)
+        recs = find_sum_durable_pairs(tps, 3.0)
+        assert all(isinstance(r, PairRecord) for r in recs)
+
+    def test_find_union_pairs_runs(self):
+        tps = random_tps(n=40, seed=7)
+        recs = find_union_durable_pairs(tps, 3.0, kappa=2)
+        assert all(isinstance(r, PairRecord) for r in recs)

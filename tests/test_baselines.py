@@ -1,0 +1,81 @@
+"""Cross-agreement tests among the baseline implementations.
+
+If the three independent exact listers agree with each other and the
+index satisfies the sandwich against them, a bug would have to be
+replicated identically in all implementations to slip through.
+"""
+
+import pytest
+
+from repro.baselines import (
+    RecomputeIncrementalBaseline,
+    brute_force_triangle_keys,
+    brute_force_triangles,
+    durable_edges,
+    durable_join_triangles,
+    explicit_graph_triangles,
+)
+from repro.baselines.brute_incremental import brute_delta_keys
+
+from conftest import random_tps
+
+
+class TestExactListersAgree:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("tau", [1.0, 3.0, 7.0])
+    def test_three_way_agreement(self, seed, tau):
+        tps = random_tps(n=70, seed=seed)
+        brute = brute_force_triangle_keys(tps, tau)
+        explicit = {r.key for r in explicit_graph_triangles(tps, tau)}
+        join = {r.key for r in durable_join_triangles(tps, tau)}
+        assert brute == explicit == join
+
+    @pytest.mark.parametrize("metric", ["l1", "linf"])
+    def test_other_metrics(self, metric):
+        tps = random_tps(n=55, seed=11, metric=metric)
+        brute = brute_force_triangle_keys(tps, 2.0)
+        explicit = {r.key for r in explicit_graph_triangles(tps, 2.0)}
+        join = {r.key for r in durable_join_triangles(tps, 2.0)}
+        assert brute == explicit == join
+
+    def test_lifespans_agree(self):
+        tps = random_tps(n=50, seed=2)
+        by_key_a = {r.key: r.lifespan for r in brute_force_triangles(tps, 2.0)}
+        by_key_b = {r.key: r.lifespan for r in explicit_graph_triangles(tps, 2.0)}
+        assert by_key_a == by_key_b
+
+    def test_anchor_convention_agrees(self):
+        tps = random_tps(n=50, seed=4)
+        a = {(r.anchor, r.q, r.s) for r in brute_force_triangles(tps, 2.0)}
+        b = {(r.anchor, r.q, r.s) for r in explicit_graph_triangles(tps, 2.0)}
+        c = {(r.anchor, r.q, r.s) for r in durable_join_triangles(tps, 2.0)}
+        assert a == b == c
+
+
+class TestDurableEdges:
+    def test_durable_edges_subset_of_proximity(self):
+        tps = random_tps(n=60, seed=5)
+        loose = durable_edges(tps, 1.0)
+        tight = durable_edges(tps, 8.0)
+        assert set(tight) <= set(loose)
+        for a, b in tight:
+            lo = max(tps.starts[a], tps.starts[b])
+            hi = min(tps.ends[a], tps.ends[b])
+            assert hi - lo >= 8.0
+
+
+class TestRecomputeBaseline:
+    def test_matches_delta_keys(self):
+        tps = random_tps(n=50, seed=8)
+        base = RecomputeIncrementalBaseline(tps)
+        prev = float("inf")
+        for tau in (7.0, 4.0, 2.0):
+            got = {r.key for r in base.query(tau)}
+            assert got == brute_delta_keys(tps, tau, prev)
+            prev = tau
+
+    def test_upward_returns_empty(self):
+        tps = random_tps(n=40, seed=9)
+        base = RecomputeIncrementalBaseline(tps)
+        base.query(2.0)
+        assert base.query(5.0) == []

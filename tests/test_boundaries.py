@@ -1,0 +1,97 @@
+"""Boundary-condition regression tests.
+
+The paper's guarantees are stated with non-strict inequalities
+(``φ ≤ 1``, ``|I| ≥ τ``); these tests pin the exact-boundary behaviour
+and the GEOMETRY_SLACK policy (DESIGN.md note 5): rounding may only
+*add* candidates, never drop an exact result.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DurableTriangleIndex,
+    SumPairIndex,
+    TemporalPointSet,
+    UnionPairIndex,
+    ValidationError,
+)
+from repro.structures.decomposition import GEOMETRY_SLACK
+
+
+class TestDistanceBoundaries:
+    def test_exactly_unit_distance_included(self):
+        # Equilateral-ish triangle with two sides exactly 1.
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, np.sqrt(3) / 2]])
+        tps = TemporalPointSet(pts, [0, 0, 0], [10, 10, 10])
+        got = {r.key for r in DurableTriangleIndex(tps, epsilon=0.25).query(5.0)}
+        assert (0, 1, 2) in got
+
+    def test_slack_is_tiny(self):
+        assert 0 < GEOMETRY_SLACK <= 1e-6
+
+    def test_far_point_never_reported_as_exact(self):
+        # Distances just above 1+ε must never appear.
+        eps = 0.25
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, 0.1], [2.3, 0.0]])
+        tps = TemporalPointSet(pts, [0] * 4, [10] * 4)
+        for r in DurableTriangleIndex(tps, epsilon=eps).query(5.0):
+            assert 3 not in r.ids  # point 3 is > (1+eps) from everyone
+
+    @pytest.mark.parametrize("metric", ["l1", "l2", "linf"])
+    def test_unit_lattice_edges(self, metric):
+        # Axis-aligned unit steps are exactly distance 1 in all three metrics.
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        tps = TemporalPointSet(pts, [0, 0, 0], [9, 9, 9], metric=metric)
+        recs = DurableTriangleIndex(tps, epsilon=0.5).query(4.0)
+        keys = {r.key for r in recs}
+        if metric == "linf":
+            assert (0, 1, 2) in keys  # the diagonal is 1 under linf: triangle
+        # Under l1/l2 the diagonal is 2 / sqrt(2): only an ε-extra at most.
+
+
+class TestTemporalBoundaries:
+    def test_durability_exactly_tau(self):
+        tps = TemporalPointSet(np.zeros((3, 2)), [0, 0, 0], [5, 5, 5])
+        assert len(DurableTriangleIndex(tps, epsilon=0.5).query(5.0)) == 1
+        assert DurableTriangleIndex(tps, epsilon=0.5).query(5.0 + 1e-9) == []
+
+    def test_partner_end_exactly_at_threshold(self):
+        # q's end is exactly anchor_start + tau: inclusive.
+        tps = TemporalPointSet(
+            np.zeros((3, 2)), [2, 0, 0], [12, 7, 7]
+        )  # window [2, 7] = 5
+        recs = DurableTriangleIndex(tps, epsilon=0.5).query(5.0)
+        assert len(recs) == 1 and recs[0].durability == 5.0
+
+    def test_touching_lifespans_zero_durability(self):
+        tps = TemporalPointSet(np.zeros((3, 2)), [0, 5, 5], [5, 9, 9])
+        # intersection is the single instant t=5: never τ-durable (τ>0).
+        assert DurableTriangleIndex(tps, epsilon=0.5).query(0.001) == []
+
+    def test_empty_point_set_rejected(self):
+        with pytest.raises(ValidationError):
+            TemporalPointSet(np.zeros((0, 2)), [], [])
+
+    def test_zero_dim_rejected(self):
+        with pytest.raises(ValidationError):
+            TemporalPointSet(np.zeros((3, 0)), [0, 0, 0], [1, 1, 1])
+
+
+class TestAggregateBoundaries:
+    def test_sum_exactly_tau(self):
+        # One witness whose overlap is exactly tau.
+        pts = np.array([[0.0, 0.0], [0.6, 0.0], [0.3, 0.2]])
+        tps = TemporalPointSet(pts, [0, 0, 0], [10, 10, 4])
+        got = {r.key for r in SumPairIndex(tps, epsilon=0.25).query(4.0)}
+        assert (0, 1) in got
+        got_above = {r.key for r in SumPairIndex(tps, epsilon=0.25).query(4.0 + 1e-9)}
+        assert (0, 1) not in got_above
+
+    def test_union_greedy_exact_cover(self):
+        # Single witness covering the whole window: (1-1/e)τ reached when
+        # window ≥ (1-1/e)τ, i.e. full-cover pairs always survive.
+        pts = np.array([[0.0, 0.0], [0.6, 0.0], [0.3, 0.2]])
+        tps = TemporalPointSet(pts, [0, 0, 0], [10, 10, 10])
+        got = {r.key for r in UnionPairIndex(tps, epsilon=0.25).query(10.0, 1)}
+        assert (0, 1) in got

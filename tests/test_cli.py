@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, load_workload, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestCommands:
+    def test_info(self):
+        code, text = run_cli("info", "--workload", "social", "--n", "120")
+        assert code == 0
+        assert "doubling dim" in text and "spread" in text
+
+    def test_triangles(self):
+        code, text = run_cli("triangles", "--n", "150", "--tau", "6", "--top", "2")
+        assert code == 0
+        assert "durable triangles:" in text
+
+    def test_triangles_count_only(self):
+        code, text = run_cli("triangles", "--n", "150", "--tau", "6", "--count-only")
+        assert code == 0
+        assert "durable triangles:" in text
+        assert "(" not in text.split("durable triangles:")[1]
+
+    def test_count_matches_query(self):
+        _, full = run_cli("triangles", "--n", "150", "--tau", "6")
+        _, count = run_cli("triangles", "--n", "150", "--tau", "6", "--count-only")
+        n_full = int(full.split("durable triangles: ")[1].split("\n")[0])
+        n_count = int(count.split("durable triangles: ")[1].split("\n")[0])
+        assert n_full == n_count
+
+    def test_cliques(self):
+        code, text = run_cli("cliques", "--n", "120", "--tau", "4", "--m", "3")
+        assert code == 0
+        assert "durable 3-cliques:" in text
+
+    def test_pairs_sum(self):
+        code, text = run_cli("pairs-sum", "--n", "120", "--tau", "6")
+        assert code == 0
+        assert "SUM-durable pairs:" in text
+
+    def test_pairs_union(self):
+        code, text = run_cli("pairs-union", "--n", "120", "--tau", "6", "--kappa", "2")
+        assert code == 0
+        assert "UNION-durable pairs:" in text
+
+    def test_stream(self):
+        code, text = run_cli("stream", "--n", "120", "--tau", "6")
+        assert code == 0
+        assert "streamed triangles:" in text
+
+    def test_error_exit_code(self):
+        code, _ = run_cli("triangles", "--n", "50", "--tau", "-3")
+        assert code == 2
+
+
+class TestWorkloadLoading:
+    def test_csv_loading(self, tmp_path):
+        rows = np.column_stack(
+            [
+                np.random.default_rng(0).uniform(0, 3, size=(30, 2)),
+                np.arange(30, dtype=float),
+                np.arange(30, dtype=float) + 5,
+            ]
+        )
+        path = tmp_path / "points.csv"
+        np.savetxt(path, rows, delimiter=",")
+        code, text = run_cli("triangles", "--csv", str(path), "--tau", "2")
+        assert code == 0
+        assert "n=30" in text
+
+    def test_csv_too_few_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        np.savetxt(path, np.zeros((5, 2)), delimiter=",")
+        code, _ = run_cli("info", "--csv", str(path))
+        assert code == 2
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_named_workloads(self):
+        for name, dim in [("uniform", 2), ("social", 2), ("coauthor", 6)]:
+            args = build_parser().parse_args(["info", "--workload", name, "--n", "50"])
+            tps = load_workload(args)
+            assert tps.n == 50 and tps.dim == dim

@@ -1,0 +1,79 @@
+"""Tests for the counting extension (conclusion's future-work item)."""
+
+import pytest
+
+from repro import DurableTriangleIndex, ValidationError
+from repro.core.counting import (
+    count_delta_for_anchor,
+    count_durable_triangles,
+    count_triangles_for_anchor,
+)
+from repro.core.incremental import CoverTreeAnchorBackend
+
+from conftest import random_tps
+
+
+class TestCountMatchesEnumeration:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("tau", [1.0, 3.0, 7.0])
+    def test_total_count(self, seed, tau):
+        tps = random_tps(n=70, seed=seed)
+        idx = DurableTriangleIndex(tps, epsilon=0.5)
+        assert idx.count(tau) == len(idx.query(tau))
+
+    @pytest.mark.parametrize("epsilon", [0.25, 1.0])
+    def test_count_respects_epsilon(self, epsilon):
+        tps = random_tps(n=60, seed=9)
+        idx = DurableTriangleIndex(tps, epsilon=epsilon)
+        assert idx.count(2.0) == len(idx.query(2.0))
+
+    def test_per_anchor_counts(self):
+        tps = random_tps(n=60, seed=13)
+        idx = DurableTriangleIndex(tps, epsilon=0.5)
+        for p in range(tps.n):
+            got = count_triangles_for_anchor(idx.structure, p, 3.0)
+            assert got == len(idx.query_anchored(p, 3.0))
+
+    def test_standalone_function(self):
+        tps = random_tps(n=50, seed=17)
+        idx = DurableTriangleIndex(tps, epsilon=0.5)
+        assert count_durable_triangles(tps, 2.0, epsilon=0.5) == len(idx.query(2.0))
+
+    def test_validation(self):
+        tps = random_tps(n=10, seed=0)
+        with pytest.raises(ValidationError):
+            count_durable_triangles(tps, 0.0)
+        with pytest.raises(ValidationError):
+            count_durable_triangles(tps, 1.0, epsilon=2.0)
+
+    def test_counting_bounds(self):
+        from repro.baselines import triangle_bounds
+
+        tps = random_tps(n=60, seed=21)
+        count = count_durable_triangles(tps, 3.0, epsilon=0.5)
+        must, may = triangle_bounds(tps, 3.0, 0.5)
+        assert len(must) <= count <= len(may)
+
+
+class TestDeltaCounts:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_delta_count_matches_report(self, seed):
+        tps = random_tps(n=55, seed=seed + 30)
+        idx = DurableTriangleIndex(tps, epsilon=0.5)
+        backend = CoverTreeAnchorBackend(idx.structure)
+        for p in range(tps.n):
+            got = count_delta_for_anchor(idx.structure, p, 3.0, 7.0)
+            want = len(backend.report_delta(p, 3.0, 7.0))
+            assert got == want
+
+    def test_delta_count_short_anchor_branch(self):
+        import numpy as np
+
+        from repro import TemporalPointSet
+
+        pts = np.zeros((3, 2))
+        tps = TemporalPointSet(pts, [2, 0, 0], [8, 100, 100])
+        idx = DurableTriangleIndex(tps, epsilon=0.5)
+        # anchor 0 has |I_p| = 6 inside [5, 10): the missing-branch case.
+        assert count_delta_for_anchor(idx.structure, 0, 5.0, 10.0) == 1
+        assert count_delta_for_anchor(idx.structure, 0, 7.0, 10.0) == 0

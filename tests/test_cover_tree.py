@@ -1,0 +1,133 @@
+"""Tests for the net hierarchy / cover tree (Appendix A)."""
+
+import numpy as np
+import pytest
+
+from repro.covertree import (
+    CoverTreeDecomposition,
+    build_hierarchy,
+    check_invariants,
+    greedy_net,
+)
+from repro.errors import ValidationError
+from repro.geometry import get_metric
+
+from conftest import random_tps
+
+
+class TestGreedyNet:
+    @pytest.mark.parametrize("metric_name", ["l2", "l1", "linf"])
+    def test_net_properties(self, metric_name):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 10, size=(200, 2))
+        m = get_metric(metric_name)
+        net, assign = greedy_net(pts, range(len(pts)), 1.0, m)
+        # Separation: net points pairwise > 1 apart.
+        for i, a in enumerate(net):
+            for b in net[i + 1 :]:
+                assert m.dist(pts[a], pts[b]) > 1.0
+        # Covering: every point assigned within 1.
+        for pid, rep in assign.items():
+            assert m.dist(pts[pid], pts[rep]) <= 1.0
+        # Every id assigned; net ids self-assigned.
+        assert set(assign) == set(range(len(pts)))
+        for r in net:
+            assert assign[r] == r
+
+    def test_general_metric_fallback(self):
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 5, size=(60, 2))
+        m = get_metric(lambda x, y: float(np.sqrt(((x - y) ** 2).sum())))
+        net_g, assign_g = greedy_net(pts, range(len(pts)), 1.0, m)
+        net_f, assign_f = greedy_net(pts, range(len(pts)), 1.0, get_metric("l2"))
+        # Net membership is deterministic regardless of the search path;
+        # tie-broken assignments may differ but must both be valid covers.
+        assert net_g == net_f
+        for assign in (assign_g, assign_f):
+            for pid, rep in assign.items():
+                assert m.dist(pts[pid], pts[rep]) <= 1.0
+
+    def test_empty_ids(self):
+        net, assign = greedy_net(np.zeros((0, 2)), [], 1.0, get_metric("l2"))
+        assert net == [] and assign == {}
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_invariants(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 6, size=(120, 2))
+        m = get_metric("l2")
+        h = build_hierarchy(pts, m, resolution=0.125)
+        assert check_invariants(h, pts, m) == []
+
+    def test_levels_shrink(self):
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0, 6, size=(150, 2))
+        h = build_hierarchy(pts, get_metric("l2"), resolution=0.1)
+        sizes = [len(lvl.rep_ids) for lvl in h.levels]
+        assert sizes[-1] == 1
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ValidationError):
+            build_hierarchy(np.zeros((3, 2)), get_metric("l2"), resolution=0.0)
+
+    def test_single_point(self):
+        h = build_hierarchy(np.array([[1.0, 2.0]]), get_metric("l2"), 0.5)
+        assert len(h.bottom.rep_ids) == 1
+
+    def test_duplicate_points(self):
+        pts = np.array([[0.0, 0.0]] * 5 + [[3.0, 3.0]] * 5)
+        h = build_hierarchy(pts, get_metric("l2"), resolution=0.25)
+        groups = h.bottom.children
+        sizes = sorted(len(v) for v in groups.values())
+        assert sizes == [5, 5]
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("metric_name", ["l2", "linf"])
+    def test_candidate_groups_cover_ball(self, seed, metric_name):
+        tps = random_tps(n=100, seed=seed, metric=metric_name)
+        dec = CoverTreeDecomposition(tps.points, tps.metric, resolution=0.125)
+        m = tps.metric
+        rng = np.random.default_rng(seed)
+        for _ in range(15):
+            q = tps.points[int(rng.integers(0, tps.n))]
+            radius = float(rng.choice([0.5, 1.0, 2.0]))
+            cand = dec.candidate_groups(q, radius)
+            covered = set()
+            for gi in cand:
+                covered.update(dec.groups[gi].member_ids)
+            d = m.dists(tps.points, q)
+            inside = set(np.nonzero(d <= radius)[0].tolist())
+            # Completeness: every point within radius is covered.
+            assert inside <= covered
+            # Soundness: covered points within radius + 2*resolution.
+            for pid in covered:
+                assert d[pid] <= radius + 2 * dec.resolution + 1e-6
+
+    def test_groups_partition_points(self):
+        tps = random_tps(n=80, seed=5)
+        dec = CoverTreeDecomposition(tps.points, tps.metric, resolution=0.25)
+        seen = sorted(pid for g in dec.groups for pid in g.member_ids)
+        assert seen == list(range(tps.n))
+        for g in dec.groups:
+            assert all(dec.group_of[p] == g.index for p in g.member_ids)
+
+    def test_group_radius_bound(self):
+        tps = random_tps(n=80, seed=6)
+        dec = CoverTreeDecomposition(tps.points, tps.metric, resolution=0.25)
+        for g in dec.groups:
+            assert g.radius_bound <= dec.resolution + 1e-12
+            d = tps.metric.dists(tps.points[g.member_ids], g.rep)
+            assert float(d.max()) <= g.radius_bound + 1e-9
+
+    def test_linked_groups_symmetricish(self):
+        tps = random_tps(n=60, seed=8)
+        dec = CoverTreeDecomposition(tps.points, tps.metric, resolution=0.25)
+        idxs = [g.index for g in dec.groups]
+        for gi in idxs[:5]:
+            linked = dec.linked_groups(gi, idxs)
+            assert gi in linked  # every group is linked to itself

@@ -1,0 +1,113 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro import TemporalPointSet, ValidationError
+from repro.datasets import (
+    benchmark_workload,
+    career_lifespans,
+    clustered_points,
+    coauthorship_workload,
+    grid_points,
+    heavy_tail_lifespans,
+    manifold_points,
+    session_lifespans,
+    social_forum_workload,
+    uniform_lifespans,
+    uniform_points,
+)
+from repro.geometry import doubling_dimension_estimate
+
+
+class TestPointGenerators:
+    def test_uniform_shape_and_range(self):
+        pts = uniform_points(100, dim=3, box=2.0, seed=1)
+        assert pts.shape == (100, 3)
+        assert pts.min() >= 0.0 and pts.max() <= 2.0
+
+    def test_uniform_deterministic(self):
+        assert np.array_equal(uniform_points(50, seed=7), uniform_points(50, seed=7))
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValidationError):
+            uniform_points(0)
+        with pytest.raises(ValidationError):
+            uniform_points(10, dim=0)
+
+    def test_clustered_shape(self):
+        pts = clustered_points(200, n_clusters=4, seed=2)
+        assert pts.shape == (200, 2)
+
+    def test_clustered_validation(self):
+        with pytest.raises(ValidationError):
+            clustered_points(10, n_clusters=0)
+
+    def test_manifold_intrinsic_dim(self):
+        low = manifold_points(400, intrinsic_dim=1, ambient_dim=6, seed=3)
+        high = manifold_points(400, intrinsic_dim=3, ambient_dim=6, seed=3)
+        assert low.shape == (400, 6)
+        rho_low = doubling_dimension_estimate(low, n_centers=12, seed=0)
+        rho_high = doubling_dimension_estimate(high, n_centers=12, seed=0)
+        assert rho_low < rho_high
+
+    def test_manifold_validation(self):
+        with pytest.raises(ValidationError):
+            manifold_points(10, intrinsic_dim=4, ambient_dim=2)
+
+    def test_grid_points(self):
+        pts = grid_points(3, dim=2)
+        assert pts.shape == (9, 2)
+        assert {tuple(p) for p in pts} == {
+            (float(i), float(j)) for i in range(3) for j in range(3)
+        }
+
+
+class TestLifespanGenerators:
+    @pytest.mark.parametrize(
+        "gen",
+        [uniform_lifespans, session_lifespans, career_lifespans, heavy_tail_lifespans],
+    )
+    def test_valid_lifespans(self, gen):
+        starts, ends = gen(200, seed=5)
+        assert len(starts) == len(ends) == 200
+        assert np.all(ends >= starts)
+
+    def test_uniform_length_bounds(self):
+        starts, ends = uniform_lifespans(300, min_len=2.0, max_len=5.0, seed=1)
+        lengths = ends - starts
+        assert lengths.min() >= 2.0 and lengths.max() <= 5.0
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValidationError):
+            uniform_lifespans(10, min_len=5.0, max_len=1.0)
+
+    def test_heavy_tail_validation(self):
+        with pytest.raises(ValidationError):
+            heavy_tail_lifespans(10, pareto_shape=0.0)
+
+
+class TestWorkloads:
+    def test_social_forum(self):
+        tps = social_forum_workload(n=150, seed=4)
+        assert isinstance(tps, TemporalPointSet)
+        assert tps.n == 150 and tps.dim == 2
+
+    def test_coauthorship(self):
+        tps = coauthorship_workload(n=120, seed=4)
+        assert tps.n == 120 and tps.dim == 6
+
+    def test_benchmark_density_scales(self):
+        small = benchmark_workload(200, density=10.0, seed=0)
+        big = benchmark_workload(800, density=10.0, seed=0)
+        # average unit-ball degree should stay roughly constant
+
+        def avg_degree(tps):
+            deg = []
+            for i in range(0, tps.n, 10):
+                d = tps.metric.dists(tps.points, tps.points[i])
+                deg.append(int((d <= 1.0).sum()) - 1)
+            return float(np.mean(deg))
+
+        a, b = avg_degree(small), avg_degree(big)
+        assert 0.3 * a <= b <= 3.0 * a

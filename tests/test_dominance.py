@@ -1,0 +1,140 @@
+"""Tests for the dominance index (temporal layer of D / D', Section 2.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.temporal import DominanceIndex
+
+from conftest import random_intervals
+
+
+def make_index(ivs, ids=None):
+    ids = list(range(len(ivs))) if ids is None else ids
+    return DominanceIndex([a for a, _ in ivs], [b for _, b in ivs], ids)
+
+
+def brute(ivs, ids, key, y_lo, y_hi=float("inf")):
+    return sorted(
+        pid
+        for (lo, hi), pid in zip(ivs, ids)
+        if (lo, pid) < key and y_lo <= hi < y_hi
+    )
+
+
+class TestStab:
+    def test_empty(self):
+        idx = DominanceIndex([], [], [])
+        rs = idx.stab((0.0, 0), 0.0)
+        assert rs.is_empty and rs.count == 0 and rs.ids() == []
+
+    def test_strict_key_excludes_self(self):
+        # A point whose (start, id) equals the key must not be returned.
+        idx = make_index([(5.0, 10.0)], ids=[3])
+        assert idx.stab((5.0, 3), 6.0).ids() == []
+        assert idx.stab((5.0, 4), 6.0).ids() == [3]
+
+    def test_end_threshold_inclusive(self):
+        idx = make_index([(0.0, 10.0)])
+        assert idx.stab((5.0, 99), 10.0).ids() == [0]
+        assert idx.stab((5.0, 99), 10.0001).ids() == []
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute(self, seed):
+        ivs = random_intervals(70, seed=seed)
+        ids = list(range(len(ivs)))
+        idx = make_index(ivs)
+        rng = np.random.default_rng(seed)
+        for _ in range(25):
+            key = (float(rng.integers(0, 50)), int(rng.integers(0, 70)))
+            y = float(rng.integers(0, 70))
+            got = sorted(idx.stab(key, y).ids())
+            assert got == brute(ivs, ids, key, y)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_range_variant(self, seed):
+        ivs = random_intervals(50, seed=seed + 7)
+        ids = list(range(len(ivs)))
+        idx = make_index(ivs)
+        rng = np.random.default_rng(seed)
+        for _ in range(20):
+            key = (float(rng.integers(0, 50)), int(rng.integers(0, 50)))
+            y1 = float(rng.integers(0, 60))
+            y2 = y1 + float(rng.integers(0, 20))
+            got = sorted(idx.stab(key, y1, y2).ids())
+            assert got == brute(ivs, ids, key, y1, y2)
+
+
+class TestSplit:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_split_partitions_stab(self, seed):
+        ivs = random_intervals(60, seed=seed + 50)
+        idx = make_index(ivs)
+        rng = np.random.default_rng(seed)
+        for _ in range(20):
+            key = (float(rng.integers(0, 50)), int(rng.integers(0, 60)))
+            y = float(rng.integers(0, 50))
+            split = y + float(rng.integers(0, 25))
+            lam, lam_bar = idx.stab_split(key, y, split)
+            all_ids = sorted(idx.stab(key, y).ids())
+            assert sorted(lam.ids() + lam_bar.ids()) == all_ids
+            ends = {pid: hi for (lo, hi), pid in zip(ivs, range(len(ivs)))}
+            for pid in lam.ids():
+                assert y <= ends[pid] < split
+            for pid in lam_bar.ids():
+                assert ends[pid] >= split
+
+
+class TestEnumeration:
+    def test_iter_desc_order(self):
+        ivs = random_intervals(80, seed=3)
+        idx = make_index(ivs)
+        rs = idx.stab((30.0, 10**9), 5.0)
+        seq = list(rs.iter_desc_by_end())
+        assert [pid for _, pid in seq] != [] or rs.count == 0
+        ends = [e for e, _ in seq]
+        assert ends == sorted(ends, reverse=True)
+        assert sorted(pid for _, pid in seq) == sorted(rs.ids())
+
+    def test_first_ids_prefix(self):
+        ivs = random_intervals(40, seed=9)
+        idx = make_index(ivs)
+        rs = idx.stab((25.0, 10**9), 3.0)
+        for k in (0, 1, 2, 5):
+            got = rs.first_ids(k)
+            assert len(got) == min(k, rs.count)
+            assert set(got) <= set(rs.ids())
+
+    def test_count_matches_len_ids(self):
+        ivs = random_intervals(55, seed=21)
+        idx = make_index(ivs)
+        for key0 in (0.0, 10.0, 30.0, 60.0):
+            rs = idx.stab((key0, 10**9), 12.0)
+            assert rs.count == len(rs.ids())
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_random(self, seed):
+        ivs = random_intervals(30, seed=seed)
+        ids = list(range(len(ivs)))
+        idx = make_index(ivs)
+        rng = np.random.default_rng(seed)
+        key = (float(rng.integers(0, 50)), int(rng.integers(0, 30)))
+        y = float(rng.integers(0, 60))
+        rs = idx.stab(key, y)
+        assert sorted(rs.ids()) == brute(ivs, ids, key, y)
+        assert rs.count == len(rs.ids())
+        desc = [e for e, _ in rs.iter_desc_by_end()]
+        assert desc == sorted(desc, reverse=True)
+
+
+class TestValidation:
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            DominanceIndex([0.0], [1.0, 2.0], [0])
+
+    def test_duplicate_starts_tie_break(self):
+        # Same start, different ids: only ids below the key id qualify.
+        idx = DominanceIndex([5.0, 5.0, 5.0], [9.0, 9.0, 9.0], [0, 1, 2])
+        assert sorted(idx.stab((5.0, 2), 6.0).ids()) == [0, 1]
+        assert sorted(idx.stab((5.0, 0), 6.0).ids()) == []

@@ -1,0 +1,108 @@
+"""Tests for the dynamic setting (Appendix C, Theorem C.1)."""
+
+import numpy as np
+import pytest
+
+from repro import TemporalPointSet, ValidationError
+from repro.baselines import triangle_bounds
+from repro.core.dynamic import DynamicDurableStructure, DynamicTriangleStream
+from repro.errors import StructureError
+
+from conftest import random_tps
+
+
+class TestStreamEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_stream_matches_offline(self, seed):
+        eps = 0.5
+        tau = 3.0
+        tps = random_tps(n=60, seed=seed)
+        stream = DynamicTriangleStream(tps, tau, epsilon=eps)
+        recs = stream.run()
+        keys = [r.key for r in recs]
+        assert len(keys) == len(set(keys)), "stream reported a duplicate"
+        must, may = triangle_bounds(tps, tau, eps)
+        got = set(keys)
+        assert must <= got <= may
+
+    def test_triangles_anchored_at_activation(self):
+        tps = random_tps(n=50, seed=9)
+        stream = DynamicTriangleStream(tps, 2.0, epsilon=0.5)
+        for ev in stream.events():
+            if ev.kind == "activate":
+                for r in ev.triangles:
+                    assert r.anchor == ev.point
+
+    def test_event_ordering(self):
+        tps = random_tps(n=40, seed=11)
+        times = [ev.time for ev in DynamicTriangleStream(tps, 2.0).events()]
+        assert times == sorted(times)
+
+    def test_short_lived_points_never_inserted(self):
+        tps = random_tps(n=40, seed=13)
+        tau = 6.0
+        inserted = {
+            ev.point
+            for ev in DynamicTriangleStream(tps, tau).events()
+            if ev.kind == "activate"
+        }
+        for p in inserted:
+            assert tps.duration(p) >= tau
+
+    def test_invalid_tau(self):
+        tps = random_tps(n=10, seed=0)
+        with pytest.raises(ValidationError):
+            DynamicTriangleStream(tps, 0.0)
+
+
+class TestStructureMechanics:
+    def test_double_insert_rejected(self):
+        tps = random_tps(n=10, seed=0)
+        st = DynamicDurableStructure(tps)
+        st.insert(0)
+        with pytest.raises(StructureError):
+            st.insert(0)
+
+    def test_delete_requires_alive(self):
+        tps = random_tps(n=10, seed=0)
+        st = DynamicDurableStructure(tps)
+        with pytest.raises(StructureError):
+            st.delete(3)
+
+    def test_live_count_tracks(self):
+        tps = random_tps(n=10, seed=0)
+        st = DynamicDurableStructure(tps)
+        st.insert(0)
+        st.insert(1)
+        assert st.live_count == 2
+        st.delete(0)
+        assert st.live_count == 1
+
+    def test_insert_reports_cotemporal_cluster(self):
+        pts = np.zeros((4, 2))
+        tps = TemporalPointSet(pts, [0, 1, 2, 3], [20, 20, 20, 20])
+        st = DynamicDurableStructure(tps, epsilon=0.5)
+        assert st.insert(0) == []
+        assert len(st.insert(1)) == 0  # only a pair so far
+        assert len(st.insert(2)) == 1  # first triangle
+        assert len(st.insert(3)) == 3  # three new triangles anchored at 3
+
+    def test_deleted_points_do_not_witness(self):
+        pts = np.zeros((3, 2))
+        tps = TemporalPointSet(pts, [0, 1, 2], [20, 20, 20])
+        st = DynamicDurableStructure(tps)
+        st.insert(0)
+        st.insert(1)
+        st.delete(0)
+        assert st.insert(2) == []
+
+    def test_compaction_happens(self):
+        tps = random_tps(n=40, seed=3)
+        st = DynamicDurableStructure(tps)
+        order = np.argsort(tps.starts)
+        for p in order[:30]:
+            st.insert(int(p))
+        for p in order[:20]:
+            st.delete(int(p))
+        assert st.n_full_rebuilds >= 1
+        assert st.live_count == 10

@@ -1,0 +1,63 @@
+"""Tests for the graph -> point-set embedding pipeline."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import TemporalPointSet, ValidationError, find_durable_triangles
+from repro.geometry.embedding import embed_graph, landmark_embedding
+
+
+class TestLandmarkEmbedding:
+    def test_shape(self):
+        g = nx.random_geometric_graph(60, 0.3, seed=1)
+        coords = landmark_embedding(g, dim=3, seed=0)
+        assert coords.shape == (60, 3)
+        assert np.all(np.isfinite(coords))
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValidationError):
+            landmark_embedding(nx.Graph())
+
+    def test_path_graph_orders_vertices(self):
+        # A long path embeds with endpoints far apart.
+        g = nx.path_graph(30)
+        coords = landmark_embedding(g, dim=2, n_landmarks=10, seed=0)
+        d_far = np.linalg.norm(coords[0] - coords[29])
+        d_near = np.linalg.norm(coords[0] - coords[1])
+        assert d_far > 3 * d_near
+
+    def test_disconnected_graph_does_not_crash(self):
+        g = nx.disjoint_union(nx.path_graph(10), nx.path_graph(10))
+        coords = landmark_embedding(g, dim=2, seed=0)
+        assert coords.shape == (20, 2)
+        assert np.all(np.isfinite(coords))
+
+
+class TestEmbedGraph:
+    def test_scale_normalises_edges(self):
+        g = nx.random_geometric_graph(80, 0.25, seed=3)
+        pts, scale = embed_graph(g, dim=3, seed=0)
+        assert scale > 0
+        lens = [
+            float(np.linalg.norm(pts[a] - pts[b])) for a, b in g.edges()
+        ]
+        # By construction, ~90% of embedded edges fall inside the unit ball.
+        frac = np.mean([l <= 1.0 + 1e-9 for l in lens])
+        assert frac >= 0.85
+
+    def test_end_to_end_triangles_from_graph(self):
+        """The paper's pipeline: graph -> embedding -> durable patterns."""
+        g = nx.caveman_graph(5, 6)  # five 6-cliques: many triangles
+        pts, _ = embed_graph(g, dim=3, seed=1)
+        n = len(pts)
+        rng = np.random.default_rng(0)
+        starts = rng.uniform(0, 10, size=n)
+        tps = TemporalPointSet(pts, starts, starts + 20, metric="l2")
+        recs = find_durable_triangles(tps, tau=5.0, epsilon=0.5)
+        assert len(recs) > 0
+
+    def test_edgeless_graph(self):
+        g = nx.empty_graph(10)
+        pts, scale = embed_graph(g, dim=2, seed=0)
+        assert pts.shape[0] == 10 and scale == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,161 @@
+"""Extra coverage for grid hashing, diagnostics and the validator."""
+
+import numpy as np
+import pytest
+
+from repro import ValidationError
+from repro.covertree import build_hierarchy, check_invariants
+from repro.geometry import (
+    UniformGrid,
+    doubling_dimension_estimate,
+    expansion_constant_estimate,
+    get_metric,
+    spread,
+)
+from repro.quadtree import GridDecomposition
+
+from conftest import random_tps
+
+
+class TestUniformGrid:
+    def test_rejects_bad_side(self):
+        with pytest.raises(ValidationError):
+            UniformGrid(np.zeros((3, 2)), 0.0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            UniformGrid(np.zeros(5), 1.0)
+
+    def test_cell_assignment(self):
+        pts = np.array([[0.1, 0.1], [0.9, 0.9], [1.1, 0.1]])
+        grid = UniformGrid(pts, 1.0)
+        assert grid.cell_of(pts[0]) == (0, 0)
+        assert grid.cell_of(pts[2]) == (1, 0)
+        assert sorted(grid.ids_in_cell((0, 0))) == [0, 1]
+        assert grid.n_cells == 2
+
+    @pytest.mark.parametrize("metric_name", ["l1", "l2", "linf"])
+    def test_neighbors_within_exact(self, metric_name):
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0, 5, size=(120, 2))
+        m = get_metric(metric_name)
+        grid = UniformGrid(pts, 0.7)
+        for i in (0, 17, 56):
+            got = sorted(grid.neighbors_within(pts[i], 1.0, m))
+            want = sorted(np.nonzero(m.dists(pts, pts[i]) <= 1.0)[0].tolist())
+            assert got == want
+
+    def test_pairs_within_matches_brute(self):
+        rng = np.random.default_rng(5)
+        pts = rng.uniform(0, 4, size=(60, 2))
+        m = get_metric("l2")
+        grid = UniformGrid(pts, 1.0)
+        got = sorted(grid.pairs_within(1.0, m))
+        want = sorted(
+            (i, j)
+            for i in range(60)
+            for j in range(i + 1, 60)
+            if m.dist(pts[i], pts[j]) <= 1.0
+        )
+        assert got == want
+
+    def test_candidates_superset(self):
+        rng = np.random.default_rng(7)
+        pts = rng.uniform(0, 10, size=(100, 3))
+        grid = UniformGrid(pts, 0.5)
+        m = get_metric("l2")
+        for i in (3, 42):
+            cand = set(grid.candidates_within(pts[i], 1.2))
+            exact = set(np.nonzero(m.dists(pts, pts[i]) <= 1.2)[0].tolist())
+            assert exact <= cand
+
+
+class TestDiagnostics:
+    def test_spread_two_points(self):
+        assert spread(np.array([[0.0], [2.0]])) == 1.0  # max == min
+
+    def test_spread_scales(self):
+        pts = np.array([[0.0], [1.0], [100.0]])
+        assert spread(pts) == pytest.approx(100.0)
+
+    def test_spread_ignores_duplicates(self):
+        # Zero distances are excluded from the minimum (otherwise any
+        # duplicate would make the diagnostic infinite and useless).
+        pts = np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 0.0]])
+        assert spread(pts) == pytest.approx(1.0)
+
+    def test_spread_all_identical(self):
+        pts = np.zeros((4, 2))
+        assert spread(pts) == 1.0
+
+    def test_doubling_dim_line_vs_plane(self):
+        rng = np.random.default_rng(0)
+        line = np.column_stack([rng.uniform(0, 100, 400), np.zeros(400)])
+        plane = rng.uniform(0, 20, size=(400, 2))
+        assert doubling_dimension_estimate(line, n_centers=10) < (
+            doubling_dimension_estimate(plane, n_centers=10)
+        )
+
+    def test_expansion_constant_positive(self):
+        tps = random_tps(n=100, seed=2)
+        c = expansion_constant_estimate(tps.points, n_centers=8)
+        assert c >= 1.0
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValidationError):
+            spread(np.zeros((0, 2)))
+
+
+class TestValidator:
+    def test_detects_separation_violation(self):
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 5, size=(50, 2))
+        m = get_metric("l2")
+        h = build_hierarchy(pts, m, resolution=0.25)
+        # Corrupt: add a rep too close to an existing one.
+        lvl = h.levels[1]
+        extra = lvl.rep_ids[0]
+        # duplicate the same rep id -> zero separation
+        lvl.rep_ids.append(extra)
+        problems = check_invariants(h, pts, m)
+        assert any("separation" in p for p in problems)
+
+    def test_detects_nesting_violation(self):
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(0, 5, size=(50, 2))
+        m = get_metric("l2")
+        h = build_hierarchy(pts, m, resolution=0.25)
+        top = h.levels[-1]
+        below_ids = set(h.levels[-2].rep_ids)
+        outsider = next(i for i in range(len(pts)) if i not in below_ids)
+        top.rep_ids.append(outsider)
+        problems = check_invariants(h, pts, m)
+        assert any("nesting" in p for p in problems)
+
+
+class TestGridDecompositionExtra:
+    def test_rejects_non_lp_metric(self):
+        from repro.errors import BackendError
+
+        with pytest.raises(BackendError):
+            GridDecomposition(np.zeros((3, 2)), lambda x, y: 0.0, 0.25)
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ValidationError):
+            GridDecomposition(np.zeros((3, 2)), "l2", -1.0)
+
+    def test_groups_radius_bound_holds(self):
+        tps = random_tps(n=80, seed=3)
+        dec = GridDecomposition(tps.points, tps.metric, 0.2)
+        for g in dec.groups:
+            d = tps.metric.dists(tps.points[g.member_ids], g.rep)
+            assert float(d.max()) <= 0.2 + 1e-9
+
+    def test_covers_unit_ball(self):
+        tps = random_tps(n=90, seed=4)
+        dec = GridDecomposition(tps.points, tps.metric, 0.15)
+        for p in range(0, 90, 13):
+            cand = dec.candidate_groups(tps.points[p], 1.0)
+            covered = {i for g in cand for i in dec.groups[g].member_ids}
+            d = tps.metric.dists(tps.points, tps.points[p])
+            assert set(np.nonzero(d <= 1.0)[0].tolist()) <= covered

@@ -1,0 +1,105 @@
+"""Tests for explicit proximity graphs and graph classes."""
+
+import numpy as np
+import pytest
+
+from repro import TemporalPointSet, ValidationError
+from repro.baselines import adjacency_matrix
+from repro.graphs import (
+    ProximityGraph,
+    as_temporal,
+    build_proximity_graph,
+    grid_graph_points,
+    ring_graph_points,
+    unit_interval_graph_points,
+)
+
+from conftest import random_tps
+
+
+class TestProximityGraph:
+    @pytest.mark.parametrize("metric", ["l2", "l1", "linf"])
+    def test_edges_match_adjacency(self, metric):
+        tps = random_tps(n=80, seed=3, metric=metric)
+        graph = build_proximity_graph(tps)
+        adj = adjacency_matrix(tps)
+        want = {(i, j) for i in range(tps.n) for j in range(i + 1, tps.n) if adj[i, j]}
+        assert set(graph.edges) == want
+
+    def test_callable_metric_fallback(self):
+        tps = random_tps(n=40, seed=5)
+        custom = TemporalPointSet(
+            tps.points,
+            tps.starts,
+            tps.ends,
+            metric=lambda x, y: float(np.sqrt(((x - y) ** 2).sum())),
+        )
+        g1 = build_proximity_graph(custom)
+        g2 = build_proximity_graph(tps)
+        assert set(g1.edges) == set(g2.edges)
+
+    def test_triangle_listing_matches_brute(self):
+        tps = random_tps(n=70, seed=7)
+        graph = build_proximity_graph(tps)
+        adj = adjacency_matrix(tps)
+        want = set()
+        for a in range(tps.n):
+            for b in range(a + 1, tps.n):
+                if not adj[a, b]:
+                    continue
+                for c in range(b + 1, tps.n):
+                    if adj[a, c] and adj[b, c]:
+                        want.add((a, b, c))
+        got = list(graph.triangles())
+        assert len(got) == len(set(got))
+        assert set(got) == want
+
+    def test_degrees(self):
+        g = ProximityGraph(3, [(0, 1), (1, 2)])
+        assert g.degree(1) == 2 and g.degree(0) == 1
+        assert sorted(g.neighbors(1)) == [0, 2]
+        assert g.m == 2
+
+    def test_to_networkx(self):
+        g = ProximityGraph(4, [(0, 1), (2, 3)])
+        nxg = g.to_networkx()
+        assert nxg.number_of_nodes() == 4 and nxg.number_of_edges() == 2
+
+
+class TestGraphClasses:
+    def test_grid_graph_is_grid(self):
+        pts = grid_graph_points(3, 4)
+        tps = as_temporal(pts, metric="l1")
+        graph = build_proximity_graph(tps)
+        # A rows x cols grid has rows*(cols-1) + cols*(rows-1) edges.
+        assert graph.m == 3 * 3 + 4 * 2
+
+    def test_grid_validation(self):
+        with pytest.raises(ValidationError):
+            grid_graph_points(0, 3)
+
+    def test_unit_interval_graph(self):
+        pts = unit_interval_graph_points([0.0, 0.8, 2.5, 3.2])
+        tps = as_temporal(pts)
+        graph = build_proximity_graph(tps)
+        assert set(graph.edges) == {(0, 1), (2, 3)}
+
+    def test_unit_interval_validation(self):
+        with pytest.raises(ValidationError):
+            unit_interval_graph_points([])
+
+    def test_ring_graph(self):
+        pts = ring_graph_points(8)
+        tps = as_temporal(pts)
+        graph = build_proximity_graph(tps)
+        assert graph.m == 8
+        for v in range(8):
+            assert graph.degree(v) == 2
+
+    def test_ring_validation(self):
+        with pytest.raises(ValidationError):
+            ring_graph_points(2)
+
+    def test_as_temporal_defaults(self):
+        tps = as_temporal(np.zeros((5, 2)), horizon=7.0)
+        assert np.all(tps.starts == 0) and np.all(tps.ends == 7.0)

@@ -1,0 +1,170 @@
+"""Tests for IncrDurableTriangle (Section 4, Theorem 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro import TemporalPointSet, ValidationError
+from repro.baselines import brute_force_triangle_keys
+from repro.baselines.brute_incremental import (
+    brute_activation_threshold,
+    brute_delta_keys,
+)
+from repro.core.incremental import IncrementalTriangleSession, compute_activation
+
+from conftest import random_tps
+
+
+def delta_bounds(tps, tau, tau_prec, epsilon, slack=1e-6):
+    """Sandwich sets for a downward move: exact delta ⊆ reported ⊆ ε-delta."""
+    must = brute_delta_keys(tps, tau, tau_prec, threshold=1.0)
+    may = brute_delta_keys(tps, tau, tau_prec, threshold=1.0 + epsilon + slack)
+    return must, may
+
+
+class TestFirstQuery:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_first_query_equals_offline(self, seed):
+        tps = random_tps(n=60, seed=seed)
+        session = IncrementalTriangleSession(tps, epsilon=0.5)
+        got = {r.key for r in session.query(3.0)}
+        must = brute_force_triangle_keys(tps, 3.0)
+        may = brute_force_triangle_keys(tps, 3.0, threshold=1.5 + 1e-6)
+        assert must <= got <= may
+
+    def test_invalid_tau(self, small_tps):
+        session = IncrementalTriangleSession(small_tps, epsilon=0.5)
+        with pytest.raises(ValidationError):
+            session.query(-1.0)
+
+    def test_unknown_backend(self, small_tps):
+        from repro.errors import BackendError
+
+        with pytest.raises(BackendError):
+            IncrementalTriangleSession(small_tps, backend="nope")
+
+
+class TestDownwardSequence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_deltas_sandwiched(self, seed):
+        eps = 0.5
+        tps = random_tps(n=55, seed=seed + 20)
+        session = IncrementalTriangleSession(tps, epsilon=eps)
+        taus = [9.0, 6.0, 4.0, 2.0, 1.0]
+        prev = float("inf")
+        seen = set()
+        for tau in taus:
+            delta = session.query(tau)
+            keys = [r.key for r in delta]
+            key_set = set(keys)
+            assert len(keys) == len(key_set), "duplicate triangle in one delta"
+            assert not (key_set & seen), "triangle re-reported across deltas"
+            must, may = delta_bounds(tps, tau, prev, eps)
+            assert must <= key_set <= may
+            seen |= key_set
+            prev = tau
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_cumulative_matches_offline(self, seed):
+        eps = 0.5
+        tps = random_tps(n=50, seed=seed + 40)
+        session = IncrementalTriangleSession(tps, epsilon=eps)
+        for tau in (8.0, 5.0, 2.0):
+            session.query(tau)
+            got = {r.key for r in session.current_results()}
+            must = brute_force_triangle_keys(tps, tau)
+            may = brute_force_triangle_keys(tps, tau, threshold=1 + eps + 1e-6)
+            assert must <= got <= may
+
+    def test_repeated_tau_reports_nothing(self, small_tps):
+        session = IncrementalTriangleSession(small_tps, epsilon=0.5)
+        session.query(3.0)
+        assert session.query(3.0) == []
+
+
+class TestUpwardAndMixed:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mixed_sequences(self, seed):
+        eps = 0.5
+        tps = random_tps(n=50, seed=seed + 60)
+        session = IncrementalTriangleSession(tps, epsilon=eps)
+        rng = np.random.default_rng(seed)
+        taus = [float(t) for t in rng.integers(1, 12, size=8)]
+        for tau in taus:
+            session.query(tau)
+            got = {r.key for r in session.current_results()}
+            must = brute_force_triangle_keys(tps, tau)
+            may = brute_force_triangle_keys(tps, tau, threshold=1 + eps + 1e-6)
+            assert must <= got <= may, f"after sequence ending at tau={tau}"
+
+    def test_upward_move_returns_empty(self, small_tps):
+        session = IncrementalTriangleSession(small_tps, epsilon=0.5)
+        session.query(2.0)
+        assert session.query(6.0) == []
+        for r in session.current_results():
+            assert r.durability >= 6.0
+
+    def test_reactivation_after_trim(self):
+        # down to 2, up to 8, back down to 2: final state == T_2 again.
+        tps = random_tps(n=45, seed=77)
+        session = IncrementalTriangleSession(tps, epsilon=0.5)
+        first = {r.key for r in session.query(2.0)}
+        session.query(8.0)
+        session.query(2.0)
+        final = {r.key for r in session.current_results()}
+        assert final == first
+
+
+class TestActivationThresholds:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_alpha_bounds(self, seed):
+        """β^∞ (S_α) lies between the exact and the ε-relaxed maxima."""
+        eps = 0.5
+        tps = random_tps(n=40, seed=seed + 80)
+        session = IncrementalTriangleSession(tps, epsilon=eps)
+        for p in range(tps.n):
+            got = session.max_activation.get(p, float("-inf"))
+            exact = brute_activation_threshold(tps, p, float("inf"))
+            relaxed = brute_activation_threshold(
+                tps, p, float("inf"), threshold=1 + eps + 1e-6
+            )
+            assert exact <= got <= relaxed
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_beta_after_query_bounds(self, seed):
+        eps = 0.5
+        tau = 4.0
+        tps = random_tps(n=40, seed=seed + 90)
+        session = IncrementalTriangleSession(tps, epsilon=eps)
+        session.query(tau)
+        for p in range(tps.n):
+            got = session.activation_threshold(p)
+            exact = brute_activation_threshold(tps, p, tau)
+            relaxed = brute_activation_threshold(tps, p, tau, threshold=1 + eps + 1e-6)
+            assert exact <= got <= relaxed
+
+    def test_compute_activation_no_triangles(self):
+        pts = np.array([[0.0, 0.0], [5.0, 5.0], [9.0, 0.0]])
+        tps = TemporalPointSet(pts, [0, 0, 0], [9, 9, 9])
+        session = IncrementalTriangleSession(tps, epsilon=0.5)
+        assert session.max_activation == {}
+        ends = np.sort(tps.ends)
+        assert compute_activation(session.backend, 0, 5.0, ends) == float("-inf")
+
+    def test_activation_caps_at_anchor_lifespan(self):
+        # Anchor dies at t=4; partners live long: activation must be 4.
+        pts = np.zeros((3, 2))
+        tps = TemporalPointSet(pts, [1, 0, 0], [5, 100, 100])
+        session = IncrementalTriangleSession(tps, epsilon=0.5)
+        # point 0 starts latest -> anchors the only triangle, durability 4.
+        assert session.max_activation[0] == pytest.approx(4.0)
+
+    def test_missing_branch_regression(self):
+        """DESIGN.md note 2: anchor lifespan inside [τ, τ≺) with two
+        long-lived partners — the printed Algorithm 2 would miss this."""
+        pts = np.zeros((3, 2))
+        tps = TemporalPointSet(pts, [2, 0, 0], [8, 100, 100])  # durability 6
+        session = IncrementalTriangleSession(tps, epsilon=0.5)
+        assert session.query(10.0) == []          # τ₁ = 10: nothing
+        delta = session.query(5.0)                # τ₂ = 5: triangle appears
+        assert len(delta) == 1
+        assert delta[0].durability == pytest.approx(6.0)

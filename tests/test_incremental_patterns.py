@@ -1,0 +1,102 @@
+"""Tests for incremental durable-clique reporting (Appendix D.2 claim)."""
+
+import numpy as np
+import pytest
+
+from repro import IncrementalTriangleSession, TemporalPointSet, ValidationError
+from repro.baselines.brute_patterns import brute_cliques
+from repro.core.incremental_patterns import IncrementalCliqueSession
+
+from conftest import random_tps
+
+
+def clique_keys_between(tps, m, tau, tau_prec, threshold=1.0):
+    """Exact m-cliques with durability in [tau, tau_prec)."""
+    out = set()
+    for key in brute_cliques(tps, m, tau, threshold):
+        d = tps.pattern_lifespan(key).length
+        if d < tau_prec:
+            out.add(key)
+    return out
+
+
+class TestTriangleEquivalence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_m3_matches_triangle_session(self, seed):
+        tps = random_tps(n=45, seed=seed)
+        tri = IncrementalTriangleSession(tps, epsilon=0.5)
+        cli = IncrementalCliqueSession(tps, m=3, epsilon=0.5)
+        for tau in (6.0, 3.0, 1.0):
+            tri_delta = {r.key for r in tri.query(tau)}
+            cli_delta = {r.key for r in cli.query(tau)}
+            assert tri_delta == cli_delta
+
+
+class TestCliqueDeltas:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_descending_sandwich(self, seed):
+        eps = 0.5
+        tps = random_tps(n=40, seed=seed + 10, box=2.5)
+        session = IncrementalCliqueSession(tps, m=4, epsilon=eps)
+        prev = float("inf")
+        seen = set()
+        for tau in (7.0, 4.0, 2.0):
+            delta = {r.key for r in session.query(tau)}
+            assert not (delta & seen), "clique re-reported"
+            must = clique_keys_between(tps, 4, tau, prev)
+            may = clique_keys_between(tps, 4, tau, prev, threshold=1 + eps + 1e-6)
+            assert must <= delta <= may
+            seen |= delta
+            prev = tau
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_cumulative_matches_offline(self, seed):
+        from repro import find_durable_cliques
+
+        eps = 0.5
+        tps = random_tps(n=35, seed=seed + 20, box=2.5)
+        session = IncrementalCliqueSession(tps, m=4, epsilon=eps)
+        for tau in (6.0, 3.0):
+            session.query(tau)
+            got = {r.key for r in session.current_results()}
+            offline = {r.key for r in find_durable_cliques(tps, 4, tau, epsilon=eps)}
+            assert got == offline
+
+    def test_mixed_sequence(self):
+        tps = random_tps(n=35, seed=31, box=2.5)
+        session = IncrementalCliqueSession(tps, m=4, epsilon=0.5)
+        for tau in (5.0, 2.0, 7.0, 3.0):
+            session.query(tau)
+            got = {r.key for r in session.current_results()}
+            must = brute_cliques(tps, 4, tau)
+            may = brute_cliques(tps, 4, tau, threshold=1.5 + 1e-6)
+            assert must <= got <= may
+
+    def test_upward_is_empty_and_trims(self):
+        tps = random_tps(n=30, seed=41, box=2.5)
+        session = IncrementalCliqueSession(tps, m=4, epsilon=0.5)
+        session.query(2.0)
+        assert session.query(5.0) == []
+        assert all(r.durability >= 5.0 for r in session.current_results())
+
+
+class TestValidation:
+    def test_m_too_small(self):
+        tps = random_tps(n=10, seed=0)
+        with pytest.raises(ValidationError):
+            IncrementalCliqueSession(tps, m=2)
+
+    def test_bad_tau(self):
+        tps = random_tps(n=10, seed=0)
+        session = IncrementalCliqueSession(tps, m=3)
+        with pytest.raises(ValidationError):
+            session.query(-1.0)
+
+    def test_missing_branch_for_cliques(self):
+        """Anchor dies inside [τ, τ≺): 4-clique must still surface."""
+        pts = np.zeros((4, 2))
+        tps = TemporalPointSet(pts, [2, 0, 0, 0], [8, 100, 100, 100])
+        session = IncrementalCliqueSession(tps, m=4, epsilon=0.5)
+        assert session.query(10.0) == []
+        delta = session.query(5.0)
+        assert len(delta) == 1 and delta[0].durability == pytest.approx(6.0)

@@ -1,0 +1,125 @@
+"""End-to-end integration tests combining multiple subsystems.
+
+These replicate the example scripts' flows in assertive form: the same
+data passing through offline, incremental, dynamic, aggregate and
+pattern paths must tell one consistent story.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DurableTriangleIndex,
+    DynamicTriangleStream,
+    IncrementalTriangleSession,
+    LinfTriangleIndex,
+    SumPairIndex,
+    TemporalPointSet,
+    UnionPairIndex,
+    find_durable_cliques,
+    find_durable_triangles,
+)
+from repro.baselines import brute_force_triangle_keys, triangle_bounds
+from repro.datasets import coauthorship_workload, social_forum_workload
+from repro.geometry import doubling_dimension_estimate, spread
+
+
+@pytest.fixture(scope="module")
+def forum():
+    return social_forum_workload(n=180, n_communities=6, seed=13)
+
+
+class TestOfflineIncrementalDynamicAgree:
+    def test_three_paths_to_t_tau(self, forum):
+        """Offline query, incremental session, and stream replay all
+        cover T_τ and stay within T^ε_τ for the same (τ, ε)."""
+        tau, eps = 2.0, 0.5
+        must, may = triangle_bounds(forum, tau, eps)
+
+        offline = {r.key for r in DurableTriangleIndex(forum, epsilon=eps).query(tau)}
+        session = IncrementalTriangleSession(forum, epsilon=eps)
+        incremental = {r.key for r in session.query(tau)}
+        streamed = {r.key for r in DynamicTriangleStream(forum, tau, epsilon=eps).run()}
+
+        for got in (offline, incremental, streamed):
+            assert must <= got <= may
+
+    def test_incremental_converges_to_offline(self, forum):
+        eps = 0.5
+        idx = DurableTriangleIndex(forum, epsilon=eps)
+        session = IncrementalTriangleSession(forum, epsilon=eps)
+        for tau in (4.0, 3.0, 1.5):
+            session.query(tau)
+        got = {r.key for r in session.current_results()}
+        want = {r.key for r in idx.query(1.5)}
+        assert got == want  # same ε-family, same decomposition maths
+
+    def test_cliques_extend_triangles(self, forum):
+        tau, eps = 1.5, 0.5
+        triangles = {r.key for r in DurableTriangleIndex(forum, epsilon=eps).query(tau)}
+        cliques3 = {r.key for r in find_durable_cliques(forum, 3, tau, epsilon=eps)}
+        assert triangles == cliques3
+        # Every sub-triple of a reported 4-clique is a durable ε-triangle
+        # (it need not be in the *reported* triangle family: a different
+        # sub-anchor sees different candidate balls).
+        _, may = triangle_bounds(forum, tau, 2 * eps)
+        for rec in find_durable_cliques(forum, 4, tau, epsilon=eps):
+            a, b, c, d = rec.members
+            for triple in ((a, b, c), (a, b, d), (a, c, d), (b, c, d)):
+                assert tuple(sorted(triple)) in may
+
+
+class TestAggregatesOnCoauthorship:
+    def test_sum_union_consistency(self):
+        tps = coauthorship_workload(n=150, seed=5)
+        tau = 10.0
+        sum_pairs = {r.key for r in SumPairIndex(tps, epsilon=0.5).query(tau)}
+        union_idx = UnionPairIndex(tps, epsilon=0.5)
+        union_pairs = {r.key for r in union_idx.query(tau, kappa=3)}
+        # A pair whose κ-union reaches τ has witness SUM ≥ (1-1/e)τ... but
+        # more robustly: both must at least be unit-ball pairs with a
+        # τ-long shared window.
+        for p, q in sum_pairs | union_pairs:
+            assert tps.dist(p, q) <= 1.5 + 1e-6
+            lo = max(tps.starts[p], tps.starts[q])
+            hi = min(tps.ends[p], tps.ends[q])
+            assert hi - lo >= tau - 1e-9
+
+    def test_union_score_bounded_by_window(self):
+        tps = coauthorship_workload(n=120, seed=7)
+        idx = UnionPairIndex(tps, epsilon=0.5)
+        for rec in idx.query(8.0, kappa=2):
+            lo = max(tps.starts[rec.p], tps.starts[rec.q])
+            hi = min(tps.ends[rec.p], tps.ends[rec.q])
+            assert rec.score <= (hi - lo) + 1e-9
+
+
+class TestMetricDiagnostics:
+    def test_workloads_have_sane_geometry(self, forum):
+        assert spread(forum.points) > 1.0
+        rho = doubling_dimension_estimate(forum.points, n_centers=10, seed=0)
+        assert 0.0 <= rho <= 6.0  # planar data: small doubling dimension
+
+    def test_exact_linf_pipeline(self):
+        tps = social_forum_workload(n=120, seed=3, metric="linf")
+        exact = {r.key for r in LinfTriangleIndex(tps).query(1.5)}
+        assert exact == brute_force_triangle_keys(tps, 1.5)
+        via_api = {r.key for r in find_durable_triangles(tps, 1.5)}
+        assert via_api == exact
+
+
+class TestScaleSmoke:
+    def test_mid_size_end_to_end(self):
+        """A single larger instance exercising the whole stack."""
+        rng = np.random.default_rng(0)
+        n = 600
+        pts = rng.uniform(0, 7, size=(n, 2))
+        starts = rng.uniform(0, 40, size=n)
+        tps = TemporalPointSet(pts, starts, starts + rng.uniform(1, 20, size=n))
+        idx = DurableTriangleIndex(tps, epsilon=0.5)
+        tau = 10.0
+        recs = idx.query(tau)
+        assert idx.count(tau) == len(recs)
+        assert all(r.durability >= tau for r in recs)
+        keys = [r.key for r in recs]
+        assert len(keys) == len(set(keys))

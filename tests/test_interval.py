@@ -1,0 +1,155 @@
+"""Unit and property tests for Interval primitives (Section 1.1)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import EMPTY_INTERVAL, Interval, ValidationError, intersect_many, union_length
+
+
+def finite_floats(lo=-1e6, hi=1e6):
+    return st.floats(min_value=lo, max_value=hi, allow_nan=False, allow_infinity=False)
+
+
+def intervals(lo=-1e3, hi=1e3):
+    return st.tuples(finite_floats(lo, hi), finite_floats(lo, hi)).map(
+        lambda t: Interval(min(t), max(t))
+    )
+
+
+class TestBasics:
+    def test_length_positive(self):
+        assert Interval(1.0, 4.0).length == 3.0
+
+    def test_length_degenerate(self):
+        assert Interval(2.0, 2.0).length == 0.0
+
+    def test_empty_interval_has_zero_length(self):
+        assert EMPTY_INTERVAL.length == 0.0
+        assert EMPTY_INTERVAL.is_empty
+
+    def test_checked_rejects_inverted(self):
+        with pytest.raises(ValidationError):
+            Interval.checked(3.0, 1.0)
+
+    def test_checked_accepts_degenerate(self):
+        assert Interval.checked(3.0, 3.0) == Interval(3.0, 3.0)
+
+    def test_contains_point_boundaries(self):
+        iv = Interval(1.0, 2.0)
+        assert iv.contains_point(1.0)
+        assert iv.contains_point(2.0)
+        assert not iv.contains_point(2.0000001)
+
+    def test_contains_interval(self):
+        assert Interval(0.0, 10.0).contains(Interval(2.0, 3.0))
+        assert not Interval(0.0, 10.0).contains(Interval(2.0, 13.0))
+        assert Interval(0.0, 1.0).contains(EMPTY_INTERVAL)
+
+    def test_overlaps_touching(self):
+        assert Interval(0.0, 1.0).overlaps(Interval(1.0, 2.0))
+        assert not Interval(0.0, 1.0).overlaps(Interval(1.5, 2.0))
+
+    def test_shift(self):
+        assert Interval(1.0, 2.0).shift(3.0) == Interval(4.0, 5.0)
+
+    def test_clip(self):
+        assert Interval(0.0, 10.0).clip(2.0, 4.0) == Interval(2.0, 4.0)
+        assert Interval(0.0, 1.0).clip(2.0, 4.0).is_empty
+
+    def test_iter_unpacks(self):
+        lo, hi = Interval(1.0, 2.0)
+        assert (lo, hi) == (1.0, 2.0)
+
+
+class TestIntersection:
+    def test_basic(self):
+        assert Interval(0, 5).intersect(Interval(3, 8)) == Interval(3, 5)
+
+    def test_disjoint_is_empty(self):
+        assert Interval(0, 1).intersect(Interval(2, 3)).is_empty
+
+    def test_touching_is_degenerate(self):
+        got = Interval(0, 2).intersect(Interval(2, 5))
+        assert got == Interval(2, 2)
+        assert got.length == 0.0
+
+    def test_with_empty_absorbs(self):
+        assert Interval(0, 1).intersect(EMPTY_INTERVAL).is_empty
+
+    def test_intersection_length_matches(self):
+        a, b = Interval(0, 5), Interval(3, 8)
+        assert a.intersection_length(b) == a.intersect(b).length
+
+    @given(intervals(), intervals())
+    def test_commutative(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(intervals(), intervals())
+    def test_length_never_exceeds_either(self, a, b):
+        ln = a.intersection_length(b)
+        assert ln <= a.length + 1e-9
+        assert ln <= b.length + 1e-9
+        assert ln >= 0.0
+
+
+class TestIntersectMany:
+    def test_triangle_lifespan(self):
+        got = intersect_many([Interval(0, 10), Interval(2, 8), Interval(4, 12)])
+        assert got == Interval(4, 8)
+
+    def test_empty_family(self):
+        assert intersect_many([]).is_empty
+
+    def test_disjoint_family(self):
+        assert intersect_many([Interval(0, 1), Interval(5, 6)]).is_empty
+
+    @given(st.lists(intervals(), min_size=1, max_size=6))
+    def test_contained_in_all(self, ivs):
+        got = intersect_many(ivs)
+        if not got.is_empty:
+            for iv in ivs:
+                assert iv.contains(got)
+
+    @given(st.lists(intervals(), min_size=2, max_size=6))
+    def test_order_invariant(self, ivs):
+        assert intersect_many(ivs) == intersect_many(list(reversed(ivs)))
+
+
+class TestUnionLength:
+    def test_disjoint(self):
+        assert union_length([Interval(0, 1), Interval(3, 5)]) == 3.0
+
+    def test_nested(self):
+        assert union_length([Interval(0, 10), Interval(2, 3)]) == 10.0
+
+    def test_chain(self):
+        assert union_length([Interval(0, 2), Interval(1, 3), Interval(3, 4)]) == 4.0
+
+    def test_empty_members_ignored(self):
+        assert union_length([EMPTY_INTERVAL, Interval(0, 1)]) == 1.0
+
+    @given(st.lists(intervals(0, 100), max_size=8))
+    def test_bounded_by_sum(self, ivs):
+        total = union_length(ivs)
+        assert total <= sum(iv.length for iv in ivs) + 1e-6
+        if ivs:
+            assert total >= max(iv.length for iv in ivs) - 1e-9
+
+    @given(st.lists(intervals(0, 100), max_size=8))
+    def test_matches_measure_sweep(self, ivs):
+        # Cross-check against a direct sweep-line measure.
+        events = sorted(
+            [(iv.start, 1) for iv in ivs if iv.length > 0]
+            + [(iv.end, -1) for iv in ivs if iv.length > 0]
+        )
+        depth = 0
+        prev = None
+        measured = 0.0
+        for t, d in events:
+            if depth > 0 and prev is not None:
+                measured += t - prev
+            depth += d
+            prev = t
+        assert math.isclose(union_length(ivs), measured, abs_tol=1e-6)

@@ -1,0 +1,115 @@
+"""Tests for IntervalSet (multi-interval lifespans, footnote 1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import Interval, IntervalSet, ValidationError
+
+
+def span_lists(max_size=6, horizon=100):
+    span = st.tuples(
+        st.integers(0, horizon), st.integers(0, horizon // 2)
+    ).map(lambda t: (float(t[0]), float(t[0] + t[1])))
+    return st.lists(span, max_size=max_size)
+
+
+class TestNormalisation:
+    def test_merges_overlapping(self):
+        s = IntervalSet([(0, 2), (1, 3)])
+        assert s.spans == ((0.0, 3.0),)
+
+    def test_merges_touching(self):
+        s = IntervalSet([(0, 1), (1, 2)])
+        assert s.spans == ((0.0, 2.0),)
+
+    def test_keeps_disjoint(self):
+        s = IntervalSet([(3, 4), (0, 1)])
+        assert s.spans == ((0.0, 1.0), (3.0, 4.0))
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValidationError):
+            IntervalSet([(2, 1)])
+
+    def test_from_intervals_drops_empty(self):
+        from repro import EMPTY_INTERVAL
+
+        s = IntervalSet.from_intervals([Interval(0, 1), EMPTY_INTERVAL])
+        assert s.spans == ((0.0, 1.0),)
+
+    @given(span_lists())
+    def test_always_sorted_and_disjoint(self, spans):
+        s = IntervalSet(spans)
+        for (a1, b1), (a2, b2) in zip(s.spans, s.spans[1:]):
+            assert b1 < a2
+
+
+class TestMeasure:
+    def test_measure_sums_components(self):
+        assert IntervalSet([(0, 1), (3, 5)]).measure == 3.0
+
+    def test_max_window(self):
+        assert IntervalSet([(0, 1), (3, 7)]).max_window == 4.0
+
+    def test_empty(self):
+        assert IntervalSet.empty().measure == 0.0
+        assert IntervalSet.empty().max_window == 0.0
+
+    def test_contains_point(self):
+        s = IntervalSet([(0, 1), (3, 5)])
+        assert s.contains_point(0.5)
+        assert s.contains_point(3.0)
+        assert s.contains_point(5.0)
+        assert not s.contains_point(2.0)
+
+
+class TestAlgebra:
+    def test_intersect_interval(self):
+        s = IntervalSet([(0, 2), (4, 6)])
+        assert s.intersect(Interval(1, 5)).spans == ((1.0, 2.0), (4.0, 5.0))
+
+    def test_intersect_set(self):
+        a = IntervalSet([(0, 3), (5, 9)])
+        b = IntervalSet([(2, 6)])
+        assert a.intersect(b).spans == ((2.0, 3.0), (5.0, 6.0))
+
+    def test_union(self):
+        a = IntervalSet([(0, 1)])
+        b = IntervalSet([(1, 2), (5, 6)])
+        assert a.union(b).spans == ((0.0, 2.0), (5.0, 6.0))
+
+    def test_subtract_middle(self):
+        s = IntervalSet([(0, 10)])
+        got = s.subtract(Interval(3, 5))
+        assert got.spans == ((0.0, 3.0), (5.0, 10.0))
+
+    def test_subtract_everything(self):
+        s = IntervalSet([(0, 10)])
+        assert s.subtract(Interval(-1, 11)).is_empty
+
+    def test_subtract_multiple_blockers(self):
+        s = IntervalSet([(0, 10)])
+        got = s.subtract(IntervalSet([(1, 2), (4, 5), (9, 12)]))
+        assert got.spans == ((0.0, 1.0), (2.0, 4.0), (5.0, 9.0))
+
+    @given(span_lists(), span_lists())
+    def test_inclusion_exclusion(self, sa, sb):
+        a, b = IntervalSet(sa), IntervalSet(sb)
+        lhs = a.union(b).measure + a.intersect(b).measure
+        rhs = a.measure + b.measure
+        assert abs(lhs - rhs) < 1e-6
+
+    @given(span_lists(), span_lists())
+    def test_subtract_partitions(self, sa, sb):
+        a, b = IntervalSet(sa), IntervalSet(sb)
+        assert abs(
+            a.subtract(b).measure + a.intersect(b).measure - a.measure
+        ) < 1e-6
+
+    @given(span_lists())
+    def test_intersect_self_identity(self, spans):
+        a = IntervalSet(spans)
+        assert a.intersect(a) == a
+
+    def test_equality_and_hash(self):
+        assert IntervalSet([(0, 1), (1, 2)]) == IntervalSet([(0, 2)])
+        assert hash(IntervalSet([(0, 2)])) == hash(IntervalSet([(0, 1), (1, 2)]))

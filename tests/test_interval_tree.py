@@ -1,0 +1,80 @@
+"""Tests for the classic interval tree (Section 2.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ValidationError
+from repro.temporal import IntervalTree
+
+from conftest import random_intervals
+
+
+def brute_stab(intervals, t):
+    return sorted(i for i, (lo, hi) in enumerate(intervals) if lo <= t <= hi)
+
+
+def brute_overlap(intervals, a, b):
+    return sorted(i for i, (lo, hi) in enumerate(intervals) if lo <= b and hi >= a)
+
+
+class TestStab:
+    def test_empty_tree(self):
+        tree = IntervalTree([])
+        assert tree.stab(0.0) == []
+        assert tree.count_stab(0.0) == 0
+
+    def test_single(self):
+        tree = IntervalTree([(1.0, 3.0)])
+        assert tree.stab(2.0) == [0]
+        assert tree.stab(0.5) == []
+        assert tree.stab(1.0) == [0]
+        assert tree.stab(3.0) == [0]
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValidationError):
+            IntervalTree([(3.0, 1.0)])
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_stab_matches_brute(self, seed):
+        ivs = random_intervals(80, seed=seed)
+        tree = IntervalTree(ivs)
+        for t in np.linspace(-5, 80, 40):
+            assert sorted(tree.stab(float(t))) == brute_stab(ivs, t)
+            assert tree.count_stab(float(t)) == len(brute_stab(ivs, t))
+
+    def test_custom_ids(self):
+        tree = IntervalTree([(0, 2), (1, 3)], ids=[10, 20])
+        assert sorted(tree.stab(1.5)) == [10, 20]
+
+
+class TestOverlap:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_overlap_matches_brute(self, seed):
+        ivs = random_intervals(60, seed=seed + 100)
+        tree = IntervalTree(ivs)
+        rng = np.random.default_rng(seed)
+        for _ in range(30):
+            a = float(rng.uniform(-5, 80))
+            b = a + float(rng.uniform(0, 30))
+            assert sorted(tree.report_overlapping(a, b)) == brute_overlap(ivs, a, b)
+            assert tree.count_overlapping(a, b) == len(brute_overlap(ivs, a, b))
+
+    def test_inverted_query_is_empty(self):
+        tree = IntervalTree([(0, 10)])
+        assert tree.report_overlapping(5, 3) == []
+        assert tree.count_overlapping(5, 3) == 0
+
+    def test_degenerate_query(self):
+        tree = IntervalTree([(0, 10), (12, 15)])
+        assert tree.report_overlapping(10, 10) == [0]
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_property(self, seed):
+        ivs = random_intervals(25, seed=seed)
+        tree = IntervalTree(ivs)
+        rng = np.random.default_rng(seed)
+        a = float(rng.uniform(-5, 60))
+        b = a + float(rng.uniform(0, 20))
+        assert sorted(tree.report_overlapping(a, b)) == brute_overlap(ivs, a, b)

@@ -1,0 +1,147 @@
+"""Tests for the exact ℓ∞ algorithms (Appendix B, Theorems B.3 & B.4)."""
+
+import numpy as np
+import pytest
+
+from repro import TemporalPointSet, ValidationError
+from repro.baselines import brute_force_triangle_keys, brute_force_triangles
+from repro.baselines.brute_incremental import brute_activation_threshold, brute_delta_keys
+from repro.core.incremental import IncrementalTriangleSession
+from repro.core.linf import LinfDurableRange, LinfTriangleIndex
+from repro.errors import BackendError
+from repro.rangetree.range_tree import box_intersect, closed_box
+
+from conftest import random_tps
+
+
+def linf_tps(n=60, seed=0, dim=2):
+    return random_tps(n=n, seed=seed, dim=dim, metric="linf")
+
+
+class TestRangeStructure:
+    def test_requires_linf(self):
+        tps = random_tps(n=10, seed=0, metric="l2")
+        with pytest.raises(BackendError):
+            LinfDurableRange(tps)
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    def test_query_matches_brute(self, seed, dim):
+        tps = linf_tps(n=50, seed=seed, dim=dim)
+        st = LinfDurableRange(tps)
+        rng = np.random.default_rng(seed)
+        for _ in range(15):
+            center = tps.points[int(rng.integers(0, tps.n))]
+            half = float(rng.uniform(0.2, 1.5))
+            box = closed_box(center - half, center + half)
+            anchor = int(rng.integers(0, tps.n))
+            key = tps.anchor_key(anchor)
+            y = float(tps.starts[anchor]) + float(rng.integers(0, 8))
+            got = sorted(st.query_ids(box, key, y))
+            want = sorted(
+                q
+                for q in range(tps.n)
+                if np.all(np.abs(tps.points[q] - center) <= half)
+                and tps.anchor_key(q) < key
+                and tps.ends[q] >= y
+            )
+            assert got == want
+            assert st.has_any(box, key, y) == bool(want)
+
+    def test_box_intersect_openness(self):
+        a = [(0.0, False, 2.0, True)]   # [0, 2)
+        b = [(2.0, False, 3.0, False)]  # [2, 3]
+        assert box_intersect(a, b) is None
+        c = [(1.0, False, 3.0, False)]  # [1, 3]
+        got = box_intersect(a, c)
+        assert got == [(1.0, False, 2.0, True)]
+
+    def test_orthants_partition_unit_ball(self):
+        tps = linf_tps(n=30, seed=3)
+        st = LinfDurableRange(tps)
+        for anchor in range(0, 30, 7):
+            cubes = st.orthant_cubes(anchor)
+            key = (float("inf"), 1 << 30)  # admit everything temporally
+            counts = {}
+            for cube in cubes:
+                for q in st.query_ids(cube, key, -1e18):
+                    counts[q] = counts.get(q, 0) + 1
+            d = tps.metric.dists(tps.points, tps.points[anchor])
+            inside = set(np.nonzero(d <= 1.0)[0].tolist())
+            assert set(counts) == inside, "cubes must cover exactly the unit ball"
+            assert all(c == 1 for c in counts.values()), "cubes must be disjoint"
+
+
+class TestExactTriangles:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_exactly_t_tau(self, seed):
+        tps = linf_tps(n=60, seed=seed)
+        idx = LinfTriangleIndex(tps)
+        for tau in (1.0, 3.0, 6.0):
+            got = [r.key for r in idx.query(tau)]
+            assert len(got) == len(set(got)), "duplicates"
+            assert set(got) == brute_force_triangle_keys(tps, tau)
+
+    @pytest.mark.parametrize("dim", [1, 3])
+    def test_other_dimensions(self, dim):
+        tps = linf_tps(n=45, seed=8, dim=dim)
+        idx = LinfTriangleIndex(tps)
+        got = {r.key for r in idx.query(2.0)}
+        assert got == brute_force_triangle_keys(tps, 2.0)
+
+    def test_lifespans_exact(self):
+        tps = linf_tps(n=50, seed=4)
+        for r in LinfTriangleIndex(tps).query(2.0):
+            assert r.lifespan == tps.pattern_lifespan([r.anchor, r.q, r.s])
+
+    def test_invalid_tau(self):
+        idx = LinfTriangleIndex(linf_tps(n=10, seed=0))
+        with pytest.raises(ValidationError):
+            idx.query(-2.0)
+
+    def test_boundary_distances_exact(self):
+        # Points at linf distance exactly 1 are connected, 1+eps are not.
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, 1.0], [2.001, 0.0]])
+        tps = TemporalPointSet(pts, [0] * 4, [10] * 4, metric="linf")
+        got = {r.key for r in LinfTriangleIndex(tps).query(1.0)}
+        assert got == {(0, 1, 2)}
+
+
+class TestExactIncremental:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_deltas_exact(self, seed):
+        tps = linf_tps(n=50, seed=seed + 10)
+        session = IncrementalTriangleSession(tps, backend="linf-exact")
+        prev = float("inf")
+        seen = set()
+        for tau in (8.0, 5.0, 3.0, 1.0):
+            delta = {r.key for r in session.query(tau)}
+            want = brute_delta_keys(tps, tau, prev)
+            assert delta == want
+            assert not (delta & seen)
+            seen |= delta
+            prev = tau
+
+    def test_mixed_sequence_exact(self):
+        tps = linf_tps(n=45, seed=31)
+        session = IncrementalTriangleSession(tps, backend="linf-exact")
+        for tau in (6.0, 2.0, 9.0, 4.0, 1.0):
+            session.query(tau)
+            got = {r.key for r in session.current_results()}
+            assert got == brute_force_triangle_keys(tps, tau)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_activation_thresholds_exact(self, seed):
+        tps = linf_tps(n=40, seed=seed + 50)
+        session = IncrementalTriangleSession(tps, backend="linf-exact")
+        for p in range(tps.n):
+            got = session.max_activation.get(p, float("-inf"))
+            want = brute_activation_threshold(tps, p, float("inf"))
+            assert got == want
+
+    def test_epsilon_ignored_for_exact_backend(self):
+        tps = linf_tps(n=20, seed=1)
+        # epsilon outside (0,1] must not matter for the exact backend.
+        session = IncrementalTriangleSession(tps, epsilon=7.0, backend="linf-exact")
+        got = {r.key for r in session.query(2.0)}
+        assert got == brute_force_triangle_keys(tps, 2.0)

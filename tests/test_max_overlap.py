@@ -1,0 +1,100 @@
+"""Tests for the max-overlap index (IT∪, Appendix E)."""
+
+import numpy as np
+import pytest
+
+from repro.temporal import MaxOverlapIndex
+
+from conftest import random_intervals
+
+
+def make_index(ivs, ids=None):
+    ids = list(range(len(ivs))) if ids is None else ids
+    return MaxOverlapIndex([a for a, _ in ivs], [b for _, b in ivs], ids)
+
+
+def brute_best(ivs, ids, a, b, exclude=()):
+    best = None
+    for (lo, hi), pid in zip(ivs, ids):
+        if pid in exclude:
+            continue
+        ov = min(hi, b) - max(lo, a)
+        if ov > 0 and (best is None or ov > best[0]):
+            best = (ov, pid)
+    return best
+
+
+class TestBestOverlap:
+    def test_empty(self):
+        idx = make_index([])
+        assert idx.best_overlap(0.0, 10.0) is None
+
+    def test_inverted_query(self):
+        idx = make_index([(0.0, 10.0)])
+        assert idx.best_overlap(5.0, 3.0) is None
+
+    def test_stab_left_candidate(self):
+        idx = make_index([(0.0, 4.0), (0.0, 9.0)])
+        got = idx.best_overlap(2.0, 20.0)
+        assert got is not None and got[1] == 1 and got[0] == 7.0
+
+    def test_stab_right_candidate(self):
+        idx = make_index([(8.0, 20.0), (3.0, 20.0)])
+        got = idx.best_overlap(0.0, 10.0)
+        assert got is not None and got[1] == 1 and got[0] == 7.0
+
+    def test_contained_candidate(self):
+        idx = make_index([(2.0, 3.0), (4.0, 9.0)])
+        got = idx.best_overlap(0.0, 10.0)
+        assert got is not None and got[1] == 1 and got[0] == 5.0
+
+    def test_no_positive_overlap(self):
+        idx = make_index([(0.0, 1.0)])
+        assert idx.best_overlap(1.0, 5.0) is None  # touching = zero overlap
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute(self, seed):
+        ivs = random_intervals(70, seed=seed)
+        ids = list(range(len(ivs)))
+        idx = make_index(ivs)
+        rng = np.random.default_rng(seed)
+        for _ in range(40):
+            a = float(rng.uniform(-10, 80))
+            b = a + float(rng.uniform(0, 40))
+            got = idx.best_overlap(a, b)
+            want = brute_best(ivs, ids, a, b)
+            if want is None:
+                assert got is None
+            else:
+                assert got is not None
+                assert abs(got[0] - want[0]) < 1e-9  # same optimal overlap
+
+
+class TestExclusions:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_excluding_two_still_optimal(self, seed):
+        ivs = random_intervals(40, seed=seed + 11)
+        ids = list(range(len(ivs)))
+        idx = make_index(ivs)
+        rng = np.random.default_rng(seed)
+        for _ in range(30):
+            a = float(rng.uniform(-5, 60))
+            b = a + float(rng.uniform(0, 30))
+            excl = {int(rng.integers(0, 40)), int(rng.integers(0, 40))}
+            got = idx.best_overlap(a, b, exclude=excl)
+            want = brute_best(ivs, ids, a, b, exclude=excl)
+            if want is None:
+                assert got is None
+            else:
+                assert got is not None
+                assert abs(got[0] - want[0]) < 1e-9
+                assert got[1] not in excl
+
+    def test_exclude_all_members(self):
+        idx = make_index([(0.0, 10.0), (1.0, 9.0)])
+        assert idx.best_overlap(2.0, 5.0, exclude={0, 1}) is None
+
+    def test_exclusion_falls_back_to_second_best(self):
+        idx = make_index([(0.0, 100.0), (0.0, 50.0)])
+        got = idx.best_overlap(0.0, 60.0, exclude={0})
+        assert got is not None and got[1] == 1 and got[0] == 50.0

@@ -1,0 +1,109 @@
+"""Tests for metric resolution and distance kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MetricError
+from repro.geometry import (
+    ChebyshevMetric,
+    EuclideanMetric,
+    FunctionMetric,
+    LpMetric,
+    ManhattanMetric,
+    get_metric,
+)
+
+
+class TestResolution:
+    def test_default_is_l2(self):
+        assert isinstance(get_metric("l2"), EuclideanMetric)
+
+    def test_names(self):
+        assert isinstance(get_metric("l1"), ManhattanMetric)
+        assert isinstance(get_metric("linf"), ChebyshevMetric)
+        assert isinstance(get_metric("chebyshev"), ChebyshevMetric)
+        assert isinstance(get_metric("euclidean"), EuclideanMetric)
+
+    def test_lp_string(self):
+        m = get_metric("l3")
+        assert isinstance(m, LpMetric) and m.alpha == 3.0
+
+    def test_lp_tuple(self):
+        m = get_metric(("lp", 1.5))
+        assert isinstance(m, LpMetric) and m.alpha == 1.5
+
+    def test_instance_passthrough(self):
+        m = EuclideanMetric()
+        assert get_metric(m) is m
+
+    def test_callable(self):
+        m = get_metric(lambda x, y: float(np.abs(x - y).sum()))
+        assert isinstance(m, FunctionMetric)
+        assert m.dist(np.array([0.0, 0.0]), np.array([1.0, 2.0])) == 3.0
+
+    def test_unknown_name(self):
+        with pytest.raises(MetricError):
+            get_metric("cosine")
+
+    def test_alpha_below_one_rejected(self):
+        with pytest.raises(MetricError):
+            LpMetric(0.5)
+
+
+class TestDistances:
+    def test_l2(self):
+        m = EuclideanMetric()
+        assert m.dist(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 5.0
+
+    def test_l1(self):
+        m = ManhattanMetric()
+        assert m.dist(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 7.0
+
+    def test_linf(self):
+        m = ChebyshevMetric()
+        assert m.dist(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 4.0
+
+    def test_lp_general(self):
+        m = LpMetric(3.0)
+        got = m.dist(np.array([0.0]), np.array([2.0]))
+        assert abs(got - 2.0) < 1e-12
+
+    @pytest.mark.parametrize("name", ["l1", "l2", "linf", "l3"])
+    def test_vectorised_matches_scalar(self, name):
+        m = get_metric(name)
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(30, 4))
+        y = rng.normal(size=4)
+        vec = m.dists(pts, y)
+        for i in range(len(pts)):
+            assert abs(vec[i] - m.dist(pts[i], y)) < 1e-12
+
+    def test_dists_on_single_row(self):
+        m = EuclideanMetric()
+        got = m.dists(np.array([1.0, 1.0]), np.array([1.0, 2.0]))
+        assert got.shape == (1,) and abs(got[0] - 1.0) < 1e-12
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_triangle_inequality_lp(self, seed):
+        rng = np.random.default_rng(seed)
+        x, y, z = rng.normal(size=(3, 3))
+        for alpha in (1.0, 1.5, 2.0, 4.0):
+            m = LpMetric(alpha)
+            assert m.dist(x, z) <= m.dist(x, y) + m.dist(y, z) + 1e-9
+
+    def test_cell_side_bounds_diameter(self):
+        rng = np.random.default_rng(1)
+        for name in ("l1", "l2", "linf", "l3"):
+            m = get_metric(name)
+            side = m.cell_side_for_diameter(0.5, 3)
+            # two corners of a side-`side` cube in R^3
+            a = np.zeros(3)
+            b = np.full(3, side)
+            assert m.dist(a, b) <= 0.5 + 1e-12
+
+    def test_function_metric_no_grid(self):
+        m = FunctionMetric(lambda x, y: 0.0)
+        with pytest.raises(MetricError):
+            m.cell_side_for_diameter(1.0, 2)

@@ -1,0 +1,129 @@
+"""Tests for the multi-interval lifespan extension (footnote 1)."""
+
+import numpy as np
+import pytest
+
+from repro import IntervalSet, ValidationError
+from repro.baselines.brute_multi import brute_multi_triangles
+from repro.core.multi import MultiIntervalTriangleFinder, as_interval_sets
+
+
+def random_multi(n=40, seed=0, max_pieces=3, horizon=40):
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(0, 4, size=(n, 2))
+    sets = []
+    for _ in range(n):
+        k = int(rng.integers(1, max_pieces + 1))
+        spans = []
+        for _ in range(k):
+            s = float(rng.integers(0, horizon))
+            spans.append((s, s + float(rng.integers(1, 12))))
+        sets.append(IntervalSet(spans))
+    return pts, sets
+
+
+class TestWindowSemantics:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_sandwich(self, seed):
+        eps = 0.5
+        tau = 3.0
+        pts, sets = random_multi(seed=seed)
+        finder = MultiIntervalTriangleFinder(pts, sets, epsilon=eps)
+        got = {r.key for r in finder.query(tau)}
+        must = brute_multi_triangles(pts, sets, tau, "window", threshold=1.0)
+        may = brute_multi_triangles(
+            pts, sets, tau, "window", threshold=1.0 + eps + 1e-6
+        )
+        assert must <= got <= may
+
+    def test_windows_are_genuine(self):
+        pts, sets = random_multi(seed=9)
+        finder = MultiIntervalTriangleFinder(pts, sets, epsilon=0.5)
+        for rec in finder.query(3.0):
+            a, b, c = rec.members
+            assert rec.durability >= 3.0
+            # The reported window must actually be a common window.
+            inter = sets[a].intersect(sets[b]).intersect(sets[c])
+            assert inter.contains_point(rec.window.start)
+            assert inter.contains_point(rec.window.end)
+            assert rec.durability <= finder.window_durability(a, b, c) + 1e-9
+
+    def test_owner_triples_unique(self):
+        pts, sets = random_multi(seed=11)
+        finder = MultiIntervalTriangleFinder(pts, sets, epsilon=0.5)
+        keys = [r.key for r in finder.query(2.0)]
+        assert len(keys) == len(set(keys))
+
+    def test_no_self_piece_triangles(self):
+        # One point with three pieces next to one neighbour: no triangle
+        # can involve two pieces of the same owner.
+        pts = np.array([[0.0, 0.0], [0.5, 0.0]])
+        sets = [IntervalSet([(0, 5), (10, 15), (20, 25)]), IntervalSet([(0, 25)])]
+        finder = MultiIntervalTriangleFinder(pts, sets, epsilon=0.5)
+        assert finder.query(1.0) == []
+
+    def test_single_interval_degenerates_to_classic(self):
+        from repro.baselines import brute_force_triangle_keys
+        from repro import TemporalPointSet
+
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0, 3, size=(35, 2))
+        starts = rng.integers(0, 20, size=35).astype(float)
+        ends = starts + rng.integers(1, 12, size=35)
+        sets = [IntervalSet([(s, e)]) for s, e in zip(starts, ends)]
+        finder = MultiIntervalTriangleFinder(pts, sets, epsilon=0.5)
+        got = {r.key for r in finder.query(3.0)}
+        tps = TemporalPointSet(pts, starts, ends)
+        must = brute_force_triangle_keys(tps, 3.0)
+        assert must <= got
+
+
+class TestSemanticsDiffer:
+    def test_total_exceeds_window(self):
+        pts, sets = random_multi(seed=21)
+        window = brute_multi_triangles(pts, sets, 4.0, "window")
+        total = brute_multi_triangles(pts, sets, 4.0, "total")
+        assert window <= total  # total durability ≥ max window
+
+    def test_split_window_counts_for_total_only(self):
+        pts = np.zeros((3, 2))
+        # Three co-located points sharing two 3-long windows: total 6,
+        # longest single window 3.
+        shared = IntervalSet([(0, 3), (10, 13)])
+        sets = [shared, shared, shared]
+        assert brute_multi_triangles(pts, sets, 5.0, "total") == {(0, 1, 2)}
+        assert brute_multi_triangles(pts, sets, 5.0, "window") == set()
+        finder = MultiIntervalTriangleFinder(pts, sets)
+        assert {r.key for r in finder.query(3.0)} == {(0, 1, 2)}
+        assert finder.query(5.0) == []
+        assert finder.total_durability(0, 1, 2) == 6.0
+        assert finder.window_durability(0, 1, 2) == 3.0
+
+
+class TestValidation:
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            MultiIntervalTriangleFinder(np.zeros((2, 2)), [IntervalSet([(0, 1)])])
+
+    def test_empty_lifespan_rejected(self):
+        with pytest.raises(ValidationError):
+            MultiIntervalTriangleFinder(
+                np.zeros((1, 2)), [IntervalSet.empty()]
+            )
+
+    def test_as_interval_sets_accepts_spans(self):
+        sets = as_interval_sets([[(0, 1), (2, 3)], IntervalSet([(5, 6)])])
+        assert sets[0] == IntervalSet([(0, 1), (2, 3)])
+        assert sets[1] == IntervalSet([(5, 6)])
+
+    def test_bad_semantics(self):
+        with pytest.raises(ValidationError):
+            brute_multi_triangles(
+                np.zeros((3, 2)), [IntervalSet([(0, 1)])] * 3, 1.0, "mean"
+            )
+
+    def test_max_pieces_tracked(self):
+        pts, sets = random_multi(seed=2, max_pieces=4)
+        finder = MultiIntervalTriangleFinder(pts, sets)
+        assert finder.max_pieces == max(len(s) for s in sets)
+        assert finder.expanded.n == sum(len(s) for s in sets)

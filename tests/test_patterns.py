@@ -1,0 +1,147 @@
+"""Tests for durable cliques, paths and stars (Appendix D.2)."""
+
+import numpy as np
+import pytest
+
+from repro import TemporalPointSet, ValidationError
+from repro.baselines.brute_force import brute_force_triangle_keys
+from repro.baselines.brute_patterns import brute_cliques, brute_paths, brute_stars
+from repro.core.patterns import (
+    PatternIndex,
+    find_durable_cliques,
+    find_durable_paths,
+    find_durable_stars,
+)
+
+from conftest import random_tps
+
+
+def sandwich(got_keys, must, may, label):
+    assert len(got_keys) == len(set(got_keys)), f"duplicate {label}"
+    got = set(got_keys)
+    missing = must - got
+    assert not missing, f"missed exact {label}: {sorted(missing)[:4]}"
+    extra = got - may
+    assert not extra, f"over-reported {label}: {sorted(extra)[:4]}"
+
+
+class TestCliques:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_triangles_as_3_cliques(self, seed):
+        eps = 0.5
+        tps = random_tps(n=50, seed=seed)
+        recs = find_durable_cliques(tps, 3, 2.0, epsilon=eps)
+        sandwich(
+            [r.key for r in recs],
+            brute_force_triangle_keys(tps, 2.0),
+            brute_force_triangle_keys(tps, 2.0, threshold=1 + eps + 1e-6),
+            "3-cliques",
+        )
+
+    @pytest.mark.parametrize("m", [4, 5])
+    def test_larger_cliques(self, m):
+        eps = 0.5
+        tps = random_tps(n=45, seed=5, box=2.5)
+        recs = find_durable_cliques(tps, m, 2.0, epsilon=eps)
+        sandwich(
+            [r.key for r in recs],
+            brute_cliques(tps, m, 2.0),
+            brute_cliques(tps, m, 2.0, threshold=1 + eps + 1e-6),
+            f"{m}-cliques",
+        )
+
+    def test_lifespans(self):
+        tps = random_tps(n=40, seed=9, box=2.5)
+        for r in find_durable_cliques(tps, 4, 2.0):
+            assert r.lifespan == tps.pattern_lifespan(r.members)
+            assert r.durability >= 2.0
+
+    def test_validation(self):
+        tps = random_tps(n=10, seed=0)
+        with pytest.raises(ValidationError):
+            find_durable_cliques(tps, 1, 1.0)
+        with pytest.raises(ValidationError):
+            find_durable_cliques(tps, 3, -1.0)
+        with pytest.raises(ValidationError):
+            PatternIndex(tps, epsilon=3.0)
+
+
+class TestPaths:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_3_paths(self, seed):
+        eps = 0.5
+        tps = random_tps(n=35, seed=seed + 10)
+        recs = find_durable_paths(tps, 3, 3.0, epsilon=eps)
+        sandwich(
+            [r.key for r in recs],
+            brute_paths(tps, 3, 3.0),
+            brute_paths(tps, 3, 3.0, threshold=1 + eps + 1e-6),
+            "3-paths",
+        )
+
+    def test_4_paths(self):
+        eps = 0.5
+        tps = random_tps(n=25, seed=3)
+        recs = find_durable_paths(tps, 4, 3.0, epsilon=eps)
+        sandwich(
+            [r.key for r in recs],
+            brute_paths(tps, 4, 3.0),
+            brute_paths(tps, 4, 3.0, threshold=1 + eps + 1e-6),
+            "4-paths",
+        )
+
+    def test_chain_needs_radius_beyond_one(self):
+        """A straight chain p0-p1-p2 with |p0-p2| = 2 — the far endpoint
+        lies outside B(anchor, 1); regression for the widened query."""
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        tps = TemporalPointSet(pts, [0, 0, 0], [10, 10, 10])
+        recs = find_durable_paths(tps, 3, 5.0, epsilon=0.25)
+        keys = {r.key for r in recs}
+        assert (0, 1, 2) in keys
+
+    def test_orientation_canonical(self):
+        tps = random_tps(n=30, seed=21)
+        for r in find_durable_paths(tps, 3, 2.0):
+            assert r.members[0] < r.members[-1]
+
+
+class TestStars:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_3_stars(self, seed):
+        eps = 0.5
+        tps = random_tps(n=35, seed=seed + 30)
+        recs = find_durable_stars(tps, 3, 3.0, epsilon=eps)
+        sandwich(
+            [r.key for r in recs],
+            brute_stars(tps, 3, 3.0),
+            brute_stars(tps, 3, 3.0, threshold=1 + eps + 1e-6),
+            "3-stars",
+        )
+
+    def test_4_stars(self):
+        eps = 0.5
+        tps = random_tps(n=28, seed=2, box=3.0)
+        recs = find_durable_stars(tps, 4, 2.0, epsilon=eps)
+        sandwich(
+            [r.key for r in recs],
+            brute_stars(tps, 4, 2.0),
+            brute_stars(tps, 4, 2.0, threshold=1 + eps + 1e-6),
+            "4-stars",
+        )
+
+    def test_center_first_convention(self):
+        pts = np.array([[0.0, 0.0], [0.9, 0.0], [-0.9, 0.0], [0.0, 0.9]])
+        tps = TemporalPointSet(pts, [0] * 4, [10] * 4)
+        recs = find_durable_stars(tps, 4, 5.0, epsilon=0.25)
+        keys = {r.key for r in recs}
+        # Point 0 is the only vertex adjacent to all three others.
+        assert (0, 1, 2, 3) in keys
+
+    def test_star_summaries_consistent(self):
+        tps = random_tps(n=30, seed=7)
+        idx = PatternIndex(tps, epsilon=0.5)
+        summaries = idx.star_summaries(3, 3.0)
+        full = list(idx.iter_stars(3, 3.0))
+        centers_with_stars = {r.members[0] for r in full}
+        centers_summarised = {c for c, _ in summaries}
+        assert centers_with_stars <= centers_summarised

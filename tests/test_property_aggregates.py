@@ -1,0 +1,111 @@
+"""Hypothesis property tests for the aggregate-pair solvers (Section 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import SumPairIndex, TemporalPointSet, UnionPairIndex
+from repro.baselines.brute_pairs import (
+    brute_sum_pairs,
+    brute_union_pairs,
+    max_kappa_coverage,
+)
+
+FACTOR = 1.0 - 1.0 / np.e
+
+coords = st.integers(0, 5).map(lambda v: v / 2.0)
+times = st.integers(0, 10).map(float)
+durs = st.integers(0, 8).map(float)
+
+
+@st.composite
+def instances(draw, max_n=12):
+    n = draw(st.integers(4, max_n))
+    pts = [[draw(coords), draw(coords)] for _ in range(n)]
+    starts = [draw(times) for _ in range(n)]
+    ends = [s + draw(durs) for s in starts]
+    return np.array(pts), np.array(starts), np.array(ends)
+
+
+class TestSumProperties:
+    @given(instances(), st.sampled_from([1.0, 2.0, 4.0]))
+    @settings(max_examples=50, deadline=None)
+    def test_sandwich(self, inst, tau):
+        pts, starts, ends = inst
+        tps = TemporalPointSet(pts, starts, ends)
+        got = {r.key for r in SumPairIndex(tps, epsilon=0.5).query(tau)}
+        must = brute_sum_pairs(tps, tau, threshold=1.0)
+        may = brute_sum_pairs(tps, tau, threshold=1.5 + 1e-6)
+        assert must <= got <= may
+
+    @given(instances())
+    @settings(max_examples=25, deadline=None)
+    def test_monotone_in_tau(self, inst):
+        pts, starts, ends = inst
+        tps = TemporalPointSet(pts, starts, ends)
+        idx = SumPairIndex(tps, epsilon=0.5)
+        loose = {r.key for r in idx.query(1.0)}
+        tight = {r.key for r in idx.query(4.0)}
+        assert tight <= loose
+
+
+class TestUnionProperties:
+    @given(instances(), st.integers(1, 3))
+    @settings(max_examples=50, deadline=None)
+    def test_guarantees(self, inst, kappa):
+        pts, starts, ends = inst
+        tau = 3.0
+        tps = TemporalPointSet(pts, starts, ends)
+        got = {r.key for r in UnionPairIndex(tps, epsilon=0.5).query(tau, kappa)}
+        must = brute_union_pairs(tps, tau, kappa, threshold=1.0)
+        may = brute_union_pairs(
+            tps, FACTOR * tau - 1e-9, kappa, threshold=1.5 + 1e-6
+        )
+        assert must <= got <= may
+
+    @given(instances())
+    @settings(max_examples=25, deadline=None)
+    def test_greedy_never_exceeds_window(self, inst):
+        pts, starts, ends = inst
+        tps = TemporalPointSet(pts, starts, ends)
+        idx = UnionPairIndex(tps, epsilon=0.5)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            p, q = rng.integers(0, tps.n, size=2)
+            if p == q:
+                continue
+            window = max(
+                0.0,
+                min(float(ends[p]), float(ends[q]))
+                - max(float(starts[p]), float(starts[q])),
+            )
+            assert idx.union_score(int(p), int(q), 3) <= window + 1e-9
+
+
+class TestCoverageDPProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 8)).map(
+                lambda t: (float(t[0]), float(t[0] + t[1]))
+            ),
+            max_size=7,
+        ),
+        st.integers(1, 3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_dp_bounds(self, ivs, kappa):
+        window = (2.0, 16.0)
+        opt = max_kappa_coverage(ivs, window, kappa)
+        assert 0.0 <= opt <= window[1] - window[0] + 1e-9
+        # Monotone in kappa.
+        assert opt <= max_kappa_coverage(ivs, window, kappa + 1) + 1e-9
+        # At kappa >= len(ivs) the DP reaches the full union.
+        from repro import Interval, union_length
+
+        clipped = [
+            Interval(max(lo, window[0]), min(hi, window[1]))
+            for lo, hi in ivs
+            if min(hi, window[1]) > max(lo, window[0])
+        ]
+        full = union_length(clipped)
+        assert abs(max_kappa_coverage(ivs, window, max(len(ivs), 1)) - full) < 1e-9

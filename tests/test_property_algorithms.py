@@ -1,0 +1,129 @@
+"""Hypothesis property tests at the whole-algorithm level.
+
+These hammer the end-to-end guarantees with adversarial inputs that the
+seeded random suites do not produce: coincident points, duplicated
+timestamps, fractional durations, extreme aspect ratios and degenerate
+lifespans.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import DurableTriangleIndex, IncrementalTriangleSession, TemporalPointSet
+from repro.baselines import brute_force_triangle_keys, triangle_bounds
+from repro.baselines.brute_incremental import brute_delta_keys
+from repro.core.linf import LinfTriangleIndex
+
+# Small-but-nasty instance generator: coordinates and times drawn from a
+# tiny grid so coincidences (equal starts, zero-length lifespans,
+# duplicate points) are common.
+coords = st.integers(0, 6).map(lambda v: v / 2.0)
+times = st.integers(0, 12).map(float)
+durs = st.integers(0, 8).map(float)
+
+
+@st.composite
+def instances(draw, max_n=14):
+    n = draw(st.integers(3, max_n))
+    pts = [[draw(coords), draw(coords)] for _ in range(n)]
+    starts = [draw(times) for _ in range(n)]
+    lengths = [draw(durs) for _ in range(n)]
+    ends = [s + l for s, l in zip(starts, lengths)]
+    return np.array(pts), np.array(starts), np.array(ends)
+
+
+class TestTriangleProperties:
+    @given(instances(), st.sampled_from([0.25, 0.5, 1.0]), st.sampled_from([1.0, 2.0, 4.0]))
+    @settings(max_examples=60, deadline=None)
+    def test_sandwich_holds(self, inst, epsilon, tau):
+        pts, starts, ends = inst
+        tps = TemporalPointSet(pts, starts, ends)
+        idx = DurableTriangleIndex(tps, epsilon=epsilon)
+        got = [r.key for r in idx.query(tau)]
+        assert len(got) == len(set(got))
+        must, may = triangle_bounds(tps, tau, epsilon)
+        assert must <= set(got) <= may
+
+    @given(instances(), st.sampled_from([1.0, 3.0]))
+    @settings(max_examples=40, deadline=None)
+    def test_linf_exact(self, inst, tau):
+        pts, starts, ends = inst
+        tps = TemporalPointSet(pts, starts, ends, metric="linf")
+        got = {r.key for r in LinfTriangleIndex(tps).query(tau)}
+        assert got == brute_force_triangle_keys(tps, tau)
+
+    @given(instances())
+    @settings(max_examples=30, deadline=None)
+    def test_count_equals_enumeration(self, inst):
+        pts, starts, ends = inst
+        tps = TemporalPointSet(pts, starts, ends)
+        idx = DurableTriangleIndex(tps, epsilon=0.5)
+        assert idx.count(2.0) == len(idx.query(2.0))
+
+
+class TestIncrementalProperties:
+    @given(
+        instances(),
+        st.lists(st.integers(1, 10).map(float), min_size=2, max_size=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_arbitrary_tau_sequences(self, inst, taus):
+        pts, starts, ends = inst
+        tps = TemporalPointSet(pts, starts, ends)
+        session = IncrementalTriangleSession(tps, epsilon=0.5)
+        for tau in taus:
+            session.query(tau)
+            got = {r.key for r in session.current_results()}
+            must = brute_force_triangle_keys(tps, tau)
+            may = brute_force_triangle_keys(tps, tau, threshold=1.5 + 1e-6)
+            assert must <= got <= may
+
+    @given(instances())
+    @settings(max_examples=30, deadline=None)
+    def test_descending_deltas_disjoint_and_complete(self, inst):
+        pts, starts, ends = inst
+        tps = TemporalPointSet(pts, starts, ends)
+        session = IncrementalTriangleSession(tps, epsilon=0.5)
+        seen = set()
+        prev = float("inf")
+        for tau in (6.0, 3.0, 1.0):
+            delta = {r.key for r in session.query(tau)}
+            assert not (delta & seen)
+            assert brute_delta_keys(tps, tau, prev) <= delta
+            seen |= delta
+            prev = tau
+
+
+class TestDegenerateGeometry:
+    def test_all_points_identical(self):
+        tps = TemporalPointSet(np.zeros((6, 2)), [0] * 6, [10] * 6)
+        idx = DurableTriangleIndex(tps, epsilon=0.5)
+        assert len(idx.query(5.0)) == 20  # C(6,3)
+
+    def test_collinear_points(self):
+        pts = np.array([[i * 0.4, 0.0] for i in range(8)])
+        tps = TemporalPointSet(pts, [0] * 8, [10] * 8)
+        idx = DurableTriangleIndex(tps, epsilon=0.25)
+        must, may = triangle_bounds(tps, 5.0, 0.25)
+        got = {r.key for r in idx.query(5.0)}
+        assert must <= got <= may
+
+    def test_zero_length_lifespans_never_durable(self):
+        tps = TemporalPointSet(np.zeros((4, 2)), [1, 1, 1, 1], [1, 1, 1, 1])
+        assert DurableTriangleIndex(tps, epsilon=0.5).query(0.5) == []
+
+    def test_huge_spread(self):
+        pts = np.array([[0.0, 0.0], [0.1, 0.0], [0.05, 0.1], [5000.0, 5000.0]])
+        tps = TemporalPointSet(pts, [0] * 4, [10] * 4)
+        got = {r.key for r in DurableTriangleIndex(tps, epsilon=0.5).query(5.0)}
+        assert got == {(0, 1, 2)}
+
+    def test_tiny_epsilon_still_valid(self):
+        tps = TemporalPointSet(
+            np.random.default_rng(0).uniform(0, 2, (25, 2)), [0] * 25, [9] * 25
+        )
+        idx = DurableTriangleIndex(tps, epsilon=0.01)
+        must, may = triangle_bounds(tps, 4.0, 0.01)
+        got = {r.key for r in idx.query(4.0)}
+        assert must <= got <= may

@@ -1,0 +1,87 @@
+"""Hypothesis property tests for the dynamic structure (Appendix C)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import DynamicTriangleStream, TemporalPointSet
+from repro.baselines import triangle_bounds
+from repro.core.dynamic import DynamicDurableStructure
+
+coords = st.integers(0, 5).map(lambda v: v / 2.0)
+times = st.integers(0, 10).map(float)
+durs = st.integers(0, 8).map(float)
+
+
+@st.composite
+def instances(draw, max_n=12):
+    n = draw(st.integers(3, max_n))
+    pts = [[draw(coords), draw(coords)] for _ in range(n)]
+    starts = [draw(times) for _ in range(n)]
+    ends = [s + draw(durs) for s in starts]
+    return np.array(pts), np.array(starts), np.array(ends)
+
+
+class TestStreamProperties:
+    @given(instances(), st.sampled_from([1.0, 2.0, 4.0]))
+    @settings(max_examples=50, deadline=None)
+    def test_replay_equals_offline(self, inst, tau):
+        pts, starts, ends = inst
+        tps = TemporalPointSet(pts, starts, ends)
+        recs = DynamicTriangleStream(tps, tau, epsilon=0.5).run()
+        keys = [r.key for r in recs]
+        assert len(keys) == len(set(keys))
+        must, may = triangle_bounds(tps, tau, 0.5)
+        assert must <= set(keys) <= may
+
+    @given(instances())
+    @settings(max_examples=30, deadline=None)
+    def test_reports_have_valid_durability(self, inst):
+        pts, starts, ends = inst
+        tau = 2.0
+        tps = TemporalPointSet(pts, starts, ends)
+        for ev in DynamicTriangleStream(tps, tau, epsilon=0.5).events():
+            for r in ev.triangles:
+                assert r.durability >= tau
+                assert r.lifespan == tps.pattern_lifespan(r.ids)
+                # Reported exactly at the anchor's maturity instant.
+                assert ev.time == float(tps.starts[r.anchor]) + tau
+
+
+class TestRandomisedInsertDelete:
+    @given(instances(max_n=10), st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_interleaved_operations_consistent(self, inst, rnd):
+        """Arbitrary valid insert/delete interleavings: reports at insert
+        must match brute force over the currently-live set."""
+        pts, starts, ends = inst
+        tps = TemporalPointSet(pts, starts, ends)
+        st_dyn = DynamicDurableStructure(tps, epsilon=0.5)
+        alive = set()
+        order = list(range(tps.n))
+        rnd.shuffle(order)
+        for p in order:
+            # Randomly delete someone first.
+            if alive and rnd.random() < 0.4:
+                victim = rnd.choice(sorted(alive))
+                st_dyn.delete(victim)
+                alive.remove(victim)
+            recs = st_dyn.insert(p)
+            keys = {r.key for r in recs}
+            # Exact triangles among live partners must all be reported.
+            must = set()
+            for a in alive:
+                for b in alive:
+                    if a >= b:
+                        continue
+                    if (
+                        tps.dist(p, a) <= 1.0
+                        and tps.dist(p, b) <= 1.0
+                        and tps.dist(a, b) <= 1.0
+                    ):
+                        must.add(tuple(sorted((p, a, b))))
+            assert must <= keys
+            # And nothing reported may involve a dead or unknown point.
+            for r in recs:
+                assert r.anchor == p
+                assert {r.q, r.s} <= alive
+            alive.add(p)

@@ -1,0 +1,130 @@
+"""Unit tests for the range tree D_R (Appendix B.1)."""
+
+import numpy as np
+import pytest
+
+from repro import ValidationError
+from repro.rangetree import RangeTree, StabArray, box_intersect, closed_box
+
+
+def brute_box(points, box):
+    out = []
+    for i, pt in enumerate(points):
+        ok = True
+        for c, (lo, lo_open, hi, hi_open) in zip(pt, box):
+            if c < lo or (c == lo and lo_open):
+                ok = False
+                break
+            if c > hi or (c == hi and hi_open):
+                ok = False
+                break
+        if ok:
+            out.append(i)
+    return sorted(out)
+
+
+class TestStabArray:
+    def test_empty(self):
+        sa = StabArray([])
+        assert len(sa) == 0
+        assert not sa.has_match((0.0, 0), 0.0)
+        assert sa.collect((0.0, 0), 0.0) == []
+
+    def test_prefix_and_filter(self):
+        sa = StabArray([(0.0, 1, 5.0), (2.0, 2, 9.0), (4.0, 3, 3.0)])
+        assert sorted(sa.collect((3.0, 0), 4.0)) == [1, 2]
+        assert sorted(sa.collect((3.0, 0), 6.0)) == [2]
+        assert sa.collect((0.0, 1), 0.0) == []
+
+    def test_banded_collection(self):
+        sa = StabArray([(0.0, 1, 5.0), (0.0, 2, 9.0)])
+        assert sa.collect((1.0, 0), 4.0, 6.0) == [1]
+        assert sa.collect((1.0, 0), 6.0, 10.0) == [2]
+
+    def test_limit(self):
+        sa = StabArray([(0.0, i, 10.0) for i in range(10)])
+        assert len(sa.collect((5.0, 99), 1.0, limit=3)) == 3
+
+    def test_has_match_uses_prefix_max(self):
+        sa = StabArray([(0.0, 1, 2.0), (1.0, 2, 20.0)])
+        assert sa.has_match((2.0, 0), 15.0)
+        assert not sa.has_match((0.5, 99), 15.0)
+
+
+class TestBoxOps:
+    def test_closed_box(self):
+        assert closed_box([0, 1], [2, 3]) == [
+            (0.0, False, 2.0, False),
+            (1.0, False, 3.0, False),
+        ]
+
+    def test_intersect_disjoint(self):
+        a = closed_box([0], [1])
+        b = closed_box([2], [3])
+        assert box_intersect(a, b) is None
+
+    def test_intersect_touching_closed(self):
+        a = closed_box([0], [1])
+        b = closed_box([1], [2])
+        assert box_intersect(a, b) == [(1.0, False, 1.0, False)]
+
+    def test_open_boundary_kills_touch(self):
+        a = [(0.0, False, 1.0, True)]
+        b = closed_box([1], [2])
+        assert box_intersect(a, b) is None
+
+
+class TestRangeTree:
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            RangeTree(np.zeros((0, 2)), [], [])
+
+    def test_box_dim_mismatch(self):
+        tree = RangeTree(np.zeros((3, 2)), [0, 0, 0], [1, 1, 1])
+        with pytest.raises(ValidationError):
+            tree.query_nodes(closed_box([0], [1]))
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    def test_leaves_partition_box_members(self, seed, dim):
+        rng = np.random.default_rng(seed)
+        n = 60
+        pts = rng.uniform(0, 5, size=(n, dim))
+        starts = rng.integers(0, 20, size=n).astype(float)
+        ends = starts + rng.integers(0, 10, size=n)
+        tree = RangeTree(pts, starts, ends)
+        for _ in range(12):
+            lo = rng.uniform(0, 4, size=dim)
+            hi = lo + rng.uniform(0.2, 2.0, size=dim)
+            box = closed_box(lo, hi)
+            leaves = tree.query_nodes(box)
+            everything_key = (float("inf"), 1 << 30)
+            collected = []
+            for leaf in leaves:
+                collected.extend(leaf.collect(everything_key, -1e18))
+            assert sorted(collected) == brute_box(pts, box)
+            assert len(collected) == len(set(collected)), "leaf overlap"
+
+    def test_half_open_sides(self):
+        pts = np.array([[1.0], [2.0], [3.0]])
+        tree = RangeTree(pts, [0, 0, 0], [9, 9, 9])
+        key = (float("inf"), 1 << 30)
+        box = [(1.0, False, 2.0, True)]  # [1, 2)
+        got = []
+        for leaf in tree.query_nodes(box):
+            got.extend(leaf.collect(key, -1e18))
+        assert got == [0]
+        box = [(1.0, True, 3.0, False)]  # (1, 3]
+        got = []
+        for leaf in tree.query_nodes(box):
+            got.extend(leaf.collect(key, -1e18))
+        assert sorted(got) == [1, 2]
+
+    def test_duplicate_coordinates(self):
+        pts = np.array([[1.0, 1.0]] * 4 + [[2.0, 2.0]] * 3)
+        tree = RangeTree(pts, [0] * 7, [9] * 7)
+        key = (float("inf"), 1 << 30)
+        got = []
+        for leaf in tree.query_nodes(closed_box([1, 1], [1, 1])):
+            got.extend(leaf.collect(key, -1e18))
+        assert sorted(got) == [0, 1, 2, 3]

@@ -1,0 +1,163 @@
+"""Tests for AggDurablePair-UNION (Section 5.2, Appendix E, Theorem 5.2)."""
+
+import numpy as np
+import pytest
+
+from repro import TemporalPointSet, ValidationError
+from repro.baselines.brute_pairs import brute_union_pairs, max_kappa_coverage
+from repro.core.aggregate import UnionPairIndex
+
+from conftest import random_tps
+
+FACTOR = 1.0 - 1.0 / np.e
+
+
+class TestMaxKappaCoverageDP:
+    def test_single_interval(self):
+        assert max_kappa_coverage([(0, 10)], (2, 6), 1) == 4.0
+
+    def test_chooses_best_subset(self):
+        ivs = [(0, 3), (2, 7), (6, 10)]
+        assert max_kappa_coverage(ivs, (0, 10), 1) == 5.0
+        assert max_kappa_coverage(ivs, (0, 10), 2) == 8.0
+        assert max_kappa_coverage(ivs, (0, 10), 3) == 10.0
+
+    def test_redundant_intervals(self):
+        ivs = [(0, 1), (4, 5), (0, 10)]
+        assert max_kappa_coverage(ivs, (0, 10), 1) == 10.0
+
+    def test_gap_filling(self):
+        ivs = [(0, 2), (5, 8), (1, 6)]
+        assert max_kappa_coverage(ivs, (0, 8), 2) == 7.0
+        assert max_kappa_coverage(ivs, (0, 8), 3) == 8.0
+
+    def test_empty(self):
+        assert max_kappa_coverage([], (0, 10), 2) == 0.0
+        assert max_kappa_coverage([(20, 30)], (0, 10), 2) == 0.0
+
+    def test_invalid_kappa(self):
+        with pytest.raises(ValidationError):
+            max_kappa_coverage([(0, 1)], (0, 10), 0)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_exhaustive(self, seed):
+        from itertools import combinations
+
+        from repro import Interval, union_length
+
+        rng = np.random.default_rng(seed)
+        ivs = [
+            (float(a), float(a + l))
+            for a, l in zip(rng.integers(0, 20, 8), rng.integers(1, 8, 8))
+        ]
+        window = (3.0, 18.0)
+        for kappa in (1, 2, 3):
+            want = 0.0
+            for r in range(1, kappa + 1):
+                for combo in combinations(ivs, r):
+                    clipped = [
+                        Interval(max(lo, window[0]), min(hi, window[1]))
+                        for lo, hi in combo
+                        if min(hi, window[1]) > max(lo, window[0])
+                    ]
+                    want = max(want, union_length(clipped))
+            got = max_kappa_coverage(ivs, window, kappa)
+            assert abs(got - want) < 1e-9
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("kappa", [1, 2, 4])
+    def test_sandwich(self, seed, kappa):
+        eps = 0.5
+        tau = 4.0
+        tps = random_tps(n=50, seed=seed)
+        idx = UnionPairIndex(tps, epsilon=eps)
+        got = {r.key for r in idx.query(tau, kappa)}
+        must = brute_union_pairs(tps, tau, kappa, threshold=1.0)
+        may = brute_union_pairs(
+            tps, FACTOR * tau - 1e-6, kappa, threshold=1.0 + eps + 1e-6
+        )
+        assert must <= got, f"missed exact UNION pairs: {sorted(must - got)[:5]}"
+        assert got <= may, f"over-reported: {sorted(got - may)[:5]}"
+
+    def test_kappa_monotone(self):
+        tps = random_tps(n=50, seed=3)
+        idx = UnionPairIndex(tps, epsilon=0.5)
+        prev = set()
+        for kappa in (1, 2, 4, 8):
+            cur = {r.key for r in idx.query(4.0, kappa)}
+            assert prev <= cur  # more witnesses can only help
+            prev = cur
+
+    def test_scores_reach_target(self):
+        tps = random_tps(n=50, seed=5)
+        idx = UnionPairIndex(tps, epsilon=0.5)
+        tau = 3.0
+        for r in idx.query(tau, 3):
+            assert r.score >= FACTOR * tau - 1e-9
+
+    def test_greedy_vs_exact_factor(self):
+        """Greedy coverage is within (1-1/e) of the DP optimum."""
+        tps = random_tps(n=40, seed=11)
+        idx = UnionPairIndex(tps, epsilon=0.5)
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            p, q = rng.integers(0, tps.n, size=2)
+            if p == q:
+                continue
+            p, q = int(p), int(q)
+            greedy = idx.union_score(p, q, 3)
+            lo = max(tps.starts[p], tps.starts[q])
+            hi = min(tps.ends[p], tps.ends[q])
+            if hi <= lo:
+                continue
+            dp_relaxed = max_kappa_coverage(
+                [
+                    (float(tps.starts[u]), float(tps.ends[u]))
+                    for u in range(tps.n)
+                    if u not in (p, q)
+                    and tps.dist(u, p) <= 1.5 + 1e-6
+                    and tps.dist(u, q) <= 1.5 + 1e-6
+                ],
+                (float(lo), float(hi)),
+                3,
+            )
+            assert greedy <= dp_relaxed + 1e-9
+            exact_opt = max_kappa_coverage(
+                [
+                    (float(tps.starts[u]), float(tps.ends[u]))
+                    for u in range(tps.n)
+                    if u not in (p, q)
+                    and tps.dist(u, p) <= 1.0
+                    and tps.dist(u, q) <= 1.0
+                ],
+                (float(lo), float(hi)),
+                3,
+            )
+            assert greedy >= FACTOR * exact_opt - 1e-9
+
+
+class TestEdgeCases:
+    def test_invalid_kappa(self):
+        tps = random_tps(n=20, seed=1)
+        idx = UnionPairIndex(tps, epsilon=0.5)
+        with pytest.raises(ValidationError):
+            idx.query(1.0, 0)
+
+    def test_single_covering_witness(self):
+        pts = np.array([[0.0, 0.0], [0.8, 0.0], [0.4, 0.3]])
+        tps = TemporalPointSet(pts, [0, 0, 0], [10, 10, 10])
+        got = {r.key for r in UnionPairIndex(tps, epsilon=0.25).query(6.0, 1)}
+        assert got == {(0, 1), (0, 2), (1, 2)}
+
+    def test_needs_two_witnesses(self):
+        # Window [0,10]; witnesses cover [0,5] and [5,10] respectively.
+        pts = np.array([[0.0, 0.0], [0.6, 0.0], [0.3, 0.2], [0.3, -0.2]])
+        tps = TemporalPointSet(pts, [0, 0, 0, 5], [10, 10, 5, 10])
+        idx = UnionPairIndex(tps, epsilon=0.25)
+        pair_01 = {r.key for r in idx.query(9.0, 2)}
+        assert (0, 1) in pair_01
+        # With kappa=1 the best single witness covers only 5 < (1-1/e)*9.
+        pair_01_k1 = {r.key for r in idx.query(9.0, 1)}
+        assert (0, 1) not in pair_01_k1
