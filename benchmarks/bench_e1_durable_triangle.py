@@ -72,8 +72,6 @@ def _dense_workload():
     selective τ keeps the durable output tiny — exactly where implicit
     output-sensitive reporting should dominate graph materialisation.
     """
-    import numpy as np
-
     from repro import TemporalPointSet
     from repro.datasets import clustered_points, uniform_lifespans
 

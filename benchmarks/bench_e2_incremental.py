@@ -13,8 +13,6 @@ Comparators:
 * ``brute-recompute`` — numpy brute force per τ and diff.
 """
 
-import pytest
-
 from repro.baselines import RecomputeIncrementalBaseline
 
 from helpers import fresh_session, triangle_index, workload

@@ -1,7 +1,12 @@
 """Shared workload builders for the benchmark harness.
 
 Workloads are cached per parameter tuple so pytest-benchmark rounds
-measure only the operation under test, never data generation.
+measure only the operation under test, never data generation.  Index
+construction goes through the same :class:`repro.engine.QueryEngine`
+cache as the production path (``repro.api`` / ``python -m repro
+batch``), so the bench harness measures exactly the code a serving
+workload runs — and ``ENGINE.stats`` exposes how often a round reused
+a preprocessing pass.
 
 Sizes are chosen for pure Python (see DESIGN.md: the ``repro = 3/5``
 band rules out C extensions offline): large enough that the predicted
@@ -13,20 +18,18 @@ from __future__ import annotations
 
 from functools import lru_cache
 
-from repro import (
-    DurableTriangleIndex,
-    IncrementalTriangleSession,
-    SumPairIndex,
-    TemporalPointSet,
-    UnionPairIndex,
-)
-from repro.core.linf import LinfTriangleIndex
+from repro import IncrementalTriangleSession, TemporalPointSet
 from repro.datasets import benchmark_workload, manifold_points, uniform_lifespans
+from repro.engine import QueryEngine, QuerySpec
 
 #: Default durability threshold: selective but non-trivial on the
 #: benchmark workload (lifespans are 1..20 on a horizon of 60).
 TAU = 8.0
 EPSILON = 0.5
+
+#: One engine for the whole bench session; every ``*_index`` helper
+#: below resolves through its shared-index cache.
+ENGINE = QueryEngine()
 
 
 @lru_cache(maxsize=None)
@@ -34,25 +37,32 @@ def workload(n: int, metric: str = "l2", density: float = 10.0, seed: int = 0):
     return benchmark_workload(n, density=density, seed=seed, metric=metric)
 
 
-@lru_cache(maxsize=None)
 def triangle_index(n: int, epsilon: float = EPSILON, backend: str = "auto",
                    metric: str = "l2"):
-    return DurableTriangleIndex(workload(n, metric), epsilon=epsilon, backend=backend)
+    # exact=False keeps this the approximate solver even on ℓ∞
+    # workloads (E6 benchmarks it against the exact one).
+    spec = QuerySpec(
+        kind="triangles", taus=TAU, epsilon=epsilon, backend=backend, exact=False
+    )
+    return ENGINE.get_index(workload(n, metric), spec)
 
 
-@lru_cache(maxsize=None)
 def linf_index(n: int):
-    return LinfTriangleIndex(workload(n, "linf"))
+    spec = QuerySpec(kind="triangles", taus=TAU, backend="linf-exact")
+    return ENGINE.get_index(workload(n, "linf"), spec)
 
 
-@lru_cache(maxsize=None)
 def sum_index(n: int, sum_backend: str = "profile"):
-    return SumPairIndex(workload(n), epsilon=EPSILON, sum_backend=sum_backend)
+    spec = QuerySpec(
+        kind="pairs-sum", taus=TAU, epsilon=EPSILON, sum_backend=sum_backend
+    )
+    return ENGINE.get_index(workload(n), spec)
 
 
-@lru_cache(maxsize=None)
 def union_index(n: int):
-    return UnionPairIndex(workload(n), epsilon=EPSILON)
+    # κ is a query-time parameter; any valid value yields the same index.
+    spec = QuerySpec(kind="pairs-union", taus=TAU, kappa=1, epsilon=EPSILON)
+    return ENGINE.get_index(workload(n), spec)
 
 
 @lru_cache(maxsize=None)

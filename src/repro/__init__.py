@@ -42,7 +42,15 @@ from .core.patterns import (
     find_durable_paths,
     find_durable_stars,
 )
+from .engine import (
+    BatchResult,
+    IndexCache,
+    QueryEngine,
+    QueryResult,
+    QuerySpec,
+)
 from .api import (
+    default_engine,
     find_durable_triangles,
     find_sum_durable_pairs,
     find_union_durable_pairs,
@@ -78,6 +86,13 @@ __all__ = [
     "LinfTriangleIndex",
     "DynamicTriangleStream",
     "PatternIndex",
+    # batched engine
+    "QueryEngine",
+    "QuerySpec",
+    "QueryResult",
+    "BatchResult",
+    "IndexCache",
+    "default_engine",
     # one-call API
     "find_durable_triangles",
     "find_sum_durable_pairs",

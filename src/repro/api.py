@@ -1,25 +1,38 @@
 """One-call convenience entry points for the library's main operations.
 
-These wrap the index classes for scripts that need a single query; for
-repeated queries over the same data build the index object once instead.
+These are thin wrappers over the batched :class:`repro.engine.QueryEngine`:
+each call becomes a single-query batch against a process-wide engine
+whose index cache is shared with every other ``api`` call.  Repeated
+queries over the same :class:`~repro.types.TemporalPointSet` therefore
+reuse one preprocessing pass (keyed by the dataset fingerprint) instead
+of rebuilding per call; for full batches, τ-sweeps and concurrency use
+the engine directly (:func:`default_engine` or ``python -m repro batch``).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
-from .core.aggregate import SumPairIndex, UnionPairIndex
-from .core.linf import LinfTriangleIndex
-from .core.triangles import DurableTriangleIndex
-from .errors import BackendError
-from .geometry.metrics import ChebyshevMetric
+from .engine import IndexCache, QueryEngine, QuerySpec
 from .types import PairRecord, TemporalPointSet, TriangleRecord
 
 __all__ = [
     "find_durable_triangles",
     "find_sum_durable_pairs",
     "find_union_durable_pairs",
+    "default_engine",
 ]
+
+#: Indexes kept live by the process-wide engine; scripts that touch many
+#: datasets in sequence evict least-recently-used preprocessing passes.
+_DEFAULT_CACHE_ENTRIES = 16
+
+_ENGINE = QueryEngine(cache=IndexCache(max_entries=_DEFAULT_CACHE_ENTRIES))
+
+
+def default_engine() -> QueryEngine:
+    """The process-wide engine backing the one-call helpers."""
+    return _ENGINE
 
 
 def find_durable_triangles(
@@ -30,16 +43,14 @@ def find_durable_triangles(
 ) -> List[TriangleRecord]:
     """Report τ-durable triangles (Definition 1.3).
 
-    ``backend="linf-exact"`` (valid only under the ℓ∞ metric) returns
-    exactly ``T_τ`` (Theorem B.3); the approximate backends return
-    ``T_τ`` plus possibly some τ-durable ε-triangles (Theorem 3.1).
+    ``backend="linf-exact"`` (valid only under the ℓ∞ metric — any other
+    metric raises :class:`~repro.errors.ValidationError`) returns exactly
+    ``T_τ`` (Theorem B.3); the approximate backends return ``T_τ`` plus
+    possibly some τ-durable ε-triangles (Theorem 3.1).  ``backend="auto"``
+    promotes ℓ∞ inputs to the exact algorithm for free.
     """
-    if backend == "linf-exact":
-        return LinfTriangleIndex(tps).query(tau)
-    if backend == "auto" and isinstance(tps.metric, ChebyshevMetric):
-        # ℓ∞ inputs get the exact algorithm for free.
-        return LinfTriangleIndex(tps).query(tau)
-    return DurableTriangleIndex(tps, epsilon=epsilon, backend=backend).query(tau)
+    spec = QuerySpec(kind="triangles", taus=tau, epsilon=epsilon, backend=backend)
+    return _ENGINE.run(tps, spec).records
 
 
 def find_sum_durable_pairs(
@@ -49,8 +60,8 @@ def find_sum_durable_pairs(
     backend: str = "auto",
 ) -> List[PairRecord]:
     """Report τ-SUM-durable pairs (Definition 1.5, Theorem 5.1)."""
-    spatial = "auto" if backend == "linf-exact" else backend
-    return SumPairIndex(tps, epsilon=epsilon, backend=spatial).query(tau)
+    spec = QuerySpec(kind="pairs-sum", taus=tau, epsilon=epsilon, backend=backend)
+    return _ENGINE.run(tps, spec).records
 
 
 def find_union_durable_pairs(
@@ -61,5 +72,7 @@ def find_union_durable_pairs(
     backend: str = "auto",
 ) -> List[PairRecord]:
     """Report (τ, κ)-UNION-durable pairs (Section 5.2, Theorem 5.2)."""
-    spatial = "auto" if backend == "linf-exact" else backend
-    return UnionPairIndex(tps, epsilon=epsilon, backend=spatial).query(tau, kappa)
+    spec = QuerySpec(
+        kind="pairs-union", taus=tau, kappa=kappa, epsilon=epsilon, backend=backend
+    )
+    return _ENGINE.run(tps, spec).records

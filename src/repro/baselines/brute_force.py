@@ -13,7 +13,7 @@ paper's sandwich guarantee ``T_τ ⊆ reported ⊆ T^ε_τ``.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Set, Tuple
+from typing import List, Set, Tuple
 
 import numpy as np
 

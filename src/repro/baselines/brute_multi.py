@@ -10,7 +10,7 @@ intersection (an :class:`~repro.temporal.interval_set.IntervalSet`):
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterable, List, Sequence, Set, Tuple
+from typing import Iterable, List, Set, Tuple
 
 import numpy as np
 

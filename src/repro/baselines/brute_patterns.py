@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from itertools import combinations, permutations
-from typing import List, Set, Tuple
+from typing import Set, Tuple
 
 import numpy as np
 

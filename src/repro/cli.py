@@ -12,14 +12,23 @@ Commands::
     python -m repro pairs-sum  --workload coauthor --tau 30
     python -m repro pairs-union --tau 12 --kappa 3
     python -m repro stream     --tau 6
+    python -m repro batch      queries.json --output results.json
+
+``batch`` runs a whole file of queries through the shared-index
+:class:`~repro.engine.QueryEngine`: every query that can legally reuse
+a preprocessing pass does, and independent queries execute concurrently.
+The file is JSON (or YAML when PyYAML is installed): either a list of
+query objects, or ``{"dataset": {...}, "queries": [...]}`` where the
+dataset spec follows :func:`repro.datasets.workload_from_spec`.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -31,11 +40,8 @@ from . import (
     UnionPairIndex,
     find_durable_cliques,
 )
-from .datasets import (
-    benchmark_workload,
-    coauthorship_workload,
-    social_forum_workload,
-)
+from .datasets import workload_from_spec
+from .engine import QueryEngine, QuerySpec
 from .errors import ReproError, ValidationError
 from .geometry import doubling_dimension_estimate, spread
 
@@ -88,23 +94,124 @@ def build_parser() -> argparse.ArgumentParser:
     p_str = sub.add_parser("stream", help="replay lifespans dynamically (Appendix C)")
     common(p_str)
     p_str.add_argument("--tau", type=float, required=True)
+
+    p_bat = sub.add_parser(
+        "batch",
+        help="run a JSON/YAML file of queries through the shared-index engine",
+    )
+    common(p_bat)
+    p_bat.add_argument("file", help="batch file (JSON, or YAML with PyYAML)")
+    p_bat.add_argument("--workers", type=int, default=None,
+                       help="thread-pool width (default: one per query, CPU-capped)")
+    p_bat.add_argument("--sequential", action="store_true",
+                       help="execute queries one at a time")
+    p_bat.add_argument("--output", default=None,
+                       help="write full JSON results to PATH ('-' for stdout)")
+    p_bat.add_argument("--no-records", action="store_true",
+                       help="emit per-tau counts only, not the records")
     return parser
 
 
 def load_workload(args: argparse.Namespace) -> TemporalPointSet:
-    """Materialise the requested input."""
+    """Materialise the requested input (see :func:`workload_from_spec`)."""
     if args.csv:
-        rows = np.loadtxt(args.csv, delimiter=",", ndmin=2)
-        if rows.shape[1] < 3:
-            raise ValidationError("CSV needs at least x,start,end columns")
-        return TemporalPointSet(
-            rows[:, :-2], rows[:, -2], rows[:, -1], metric=args.metric
+        return workload_from_spec({"csv": args.csv, "metric": args.metric})
+    return workload_from_spec(
+        {
+            "workload": args.workload,
+            "n": args.n,
+            "seed": args.seed,
+            "metric": args.metric,
+        }
+    )
+
+
+def _load_batch_file(path: str) -> Dict[str, Any]:
+    """Parse a batch file into ``{"dataset": ..., "queries": [...]}``.
+
+    JSON always works; ``.yaml``/``.yml`` files use PyYAML when
+    available and fail with a clear error otherwise.
+    """
+    try:
+        with open(path) as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise ValidationError(f"cannot read batch file {path!r}: {exc}") from exc
+    if path.endswith((".yaml", ".yml")):
+        try:
+            import yaml
+        except ImportError as exc:  # pragma: no cover - environment-specific
+            raise ValidationError(
+                "YAML batch files need the optional PyYAML dependency; "
+                "install it or convert the file to JSON"
+            ) from exc
+        try:
+            doc = yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise ValidationError(f"invalid YAML in {path!r}: {exc}") from exc
+    else:
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"invalid JSON in {path!r}: {exc}") from exc
+    if isinstance(doc, list):
+        doc = {"queries": doc}
+    if not isinstance(doc, dict) or "queries" not in doc:
+        raise ValidationError(
+            "batch file must be a list of queries or an object with a "
+            "'queries' key (optionally a 'dataset' key)"
         )
-    if args.workload == "social":
-        return social_forum_workload(n=args.n, seed=args.seed, metric=args.metric)
-    if args.workload == "coauthor":
-        return coauthorship_workload(n=args.n, seed=args.seed, metric=args.metric)
-    return benchmark_workload(n=args.n, seed=args.seed, metric=args.metric)
+    if not isinstance(doc["queries"], list) or not doc["queries"]:
+        raise ValidationError("batch file declares no queries")
+    return doc
+
+
+def _run_batch(args: argparse.Namespace, out) -> int:
+    doc = _load_batch_file(args.file)
+    # Validate the query specs before materialising any dataset, so a
+    # typo in the file fails fast.
+    specs = [QuerySpec.from_dict(q) for q in doc["queries"]]
+    if "dataset" in doc:
+        tps = workload_from_spec(doc["dataset"])
+    else:
+        tps = load_workload(args)
+    print(f"workload: {tps}", file=out)
+
+    engine = QueryEngine(max_workers=args.workers)
+    batch = engine.run_batch(tps, specs, parallel=not args.sequential)
+
+    for i, res in enumerate(batch):
+        taus = ",".join(f"{t:g}" for t in res.spec.taus)
+        label = f" ({res.spec.label})" if res.spec.label else ""
+        source = "cache" if res.cache_hit else f"build {res.build_seconds * 1e3:.1f} ms"
+        print(
+            f"[{i}] {res.spec.kind}{label} tau={taus}: {res.count} records "
+            f"({source}, query {res.query_seconds * 1e3:.1f} ms)",
+            file=out,
+        )
+    stats = batch.cache_stats
+    print(
+        f"batch: {len(batch)} queries, {batch.distinct_indexes} distinct "
+        f"indexes, {stats['builds']} built, {stats['hits']} cache hits, "
+        f"{batch.wall_seconds * 1e3:.1f} ms total",
+        file=out,
+    )
+    if args.output:
+        payload = batch.to_dict(include_records=not args.no_records)
+        payload["dataset"] = {
+            "n": tps.n,
+            "dim": tps.dim,
+            "metric": tps.metric.name,
+            "fingerprint": tps.fingerprint(),
+        }
+        if args.output == "-":
+            json.dump(payload, out, indent=2)
+            print(file=out)
+        else:
+            with open(args.output, "w") as fh:
+                json.dump(payload, fh, indent=2)
+            print(f"results written to {args.output}", file=out)
+    return 0
 
 
 def _timed(label: str, fn, out=sys.stdout):
@@ -119,6 +226,8 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     try:
+        if args.command == "batch":
+            return _run_batch(args, out)
         tps = load_workload(args)
         print(f"workload: {tps}", file=out)
 

@@ -26,12 +26,12 @@ exclusion lists for UNION.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterator, List, Literal, Optional, Sequence, Tuple
+from typing import Iterator, List, Literal, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import BackendError, ValidationError
-from ..structures.durable_ball import BallSubset, DurableBallStructure
+from ..structures.durable_ball import DurableBallStructure, resolve_backend
 from ..temporal.max_overlap import MaxOverlapIndex
 from ..temporal.sum_index import AnnotatedIntervalTree, CoverageProfile
 from ..types import PairRecord, TemporalPointSet
@@ -52,6 +52,7 @@ class _AggregateBase:
             raise ValidationError(f"epsilon must lie in (0, 1], got {epsilon!r}")
         self.tps = tps
         self.epsilon = float(epsilon)
+        self.backend = resolve_backend(backend)
         # Algorithm 4 issues durableBallQ(p, τ, ε/2): resolution ε/4.
         self.structure = DurableBallStructure(tps, epsilon / 4.0, backend)
 
@@ -105,12 +106,22 @@ class SumPairIndex(_AggregateBase):
         else:
             raise BackendError(f"unknown sum backend {sum_backend!r}")
         self.sum_backend = sum_backend
-        self._sums = []
+        self._sums: List = []
         for g in self.structure.groups:
             spans = [
                 (float(tps.starts[i]), float(tps.ends[i])) for i in g.member_ids
             ]
             self._sums.append(factory(spans))
+
+    def cache_key(self) -> tuple:
+        """Engine-cache identity (see :mod:`repro.engine.cache`)."""
+        return (
+            "pairs-sum",
+            self.tps.fingerprint(),
+            self.epsilon,
+            self.backend,
+            self.sum_backend,
+        )
 
     # ------------------------------------------------------------------
     def query(self, tau: float) -> List[PairRecord]:
@@ -207,6 +218,10 @@ class UnionPairIndex(_AggregateBase):
                     ids,
                 )
             )
+
+    def cache_key(self) -> tuple:
+        """Engine-cache identity (κ is a query parameter, not index state)."""
+        return ("pairs-union", self.tps.fingerprint(), self.epsilon, self.backend)
 
     # ------------------------------------------------------------------
     def query(self, tau: float, kappa: int) -> List[PairRecord]:

@@ -20,7 +20,6 @@ trick applied to the ``Λ``/``Λ̄`` split counts incremental deltas.
 
 from __future__ import annotations
 
-from typing import List
 
 from ..errors import ValidationError
 from ..structures.durable_ball import DurableBallStructure

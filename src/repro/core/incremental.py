@@ -35,12 +35,12 @@ import bisect
 import heapq
 from abc import ABC, abstractmethod
 from itertools import combinations
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from ..errors import BackendError, ValidationError
-from ..structures.durable_ball import DurableBallStructure, SplitBallSubset
+from ..structures.durable_ball import DurableBallStructure
 from ..types import TemporalPointSet, TriangleRecord
 from .triangles import _record, triangles_for_anchor
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 import bisect
 import heapq
 from itertools import combinations
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
 

@@ -20,7 +20,7 @@ Both restore the missing ``|I_p| < τ≺`` branch (DESIGN.md note 2).
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -115,6 +115,10 @@ class LinfTriangleIndex:
     def __init__(self, tps: TemporalPointSet) -> None:
         self.tps = tps
         self.structure = LinfDurableRange(tps)
+
+    def cache_key(self) -> tuple:
+        """Engine-cache identity (exact solver: no ε, no spatial backend)."""
+        return ("linf-triangles", self.tps.fingerprint(), 0.0, "linf-exact")
 
     def query(self, tau: float) -> List[TriangleRecord]:
         """All τ-durable triangles, exactly."""

@@ -22,12 +22,12 @@ guarantee: every exact τ-durable pattern is reported, every report is a
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..errors import ValidationError
-from ..structures.durable_ball import DurableBallStructure
+from ..structures.durable_ball import DurableBallStructure, resolve_backend
 from ..temporal.interval import Interval
 from ..types import PatternRecord, TemporalPointSet
 
@@ -52,7 +52,13 @@ class PatternIndex:
             raise ValidationError(f"epsilon must lie in (0, 1], got {epsilon!r}")
         self.tps = tps
         self.epsilon = float(epsilon)
+        self.backend = resolve_backend(backend)
         self.structure = DurableBallStructure(tps, epsilon / 4.0, backend)
+
+    def cache_key(self) -> tuple:
+        """Engine-cache identity; one PatternIndex serves cliques, paths
+        and stars alike, so the key carries no pattern kind."""
+        return ("patterns", self.tps.fingerprint(), self.epsilon, self.backend)
 
     # ------------------------------------------------------------------
     def _anchor_context(

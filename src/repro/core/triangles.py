@@ -19,7 +19,7 @@ from typing import Iterator, List, Optional, Sequence
 import numpy as np
 
 from ..errors import ValidationError
-from ..structures.durable_ball import BallSubset, DurableBallStructure
+from ..structures.durable_ball import BallSubset, DurableBallStructure, resolve_backend
 from ..temporal.interval import Interval
 from ..types import TemporalPointSet, TriangleRecord
 
@@ -103,9 +103,19 @@ class DurableTriangleIndex:
             raise ValidationError(f"epsilon must lie in (0, 1], got {epsilon!r}")
         self.tps = tps
         self.epsilon = float(epsilon)
+        self.backend = resolve_backend(backend)
         # Algorithm 1 issues durableBallQ(p, τ, ε/2): canonical balls of
         # diameter ≤ ε/2, i.e. radius ≤ ε/4.
         self.structure = DurableBallStructure(tps, epsilon / 4.0, backend)
+
+    def cache_key(self) -> tuple:
+        """Key under which an engine cache may share this index.
+
+        Two construction calls with equal keys build interchangeable
+        indexes (same dataset fingerprint, ε, and spatial backend); see
+        :mod:`repro.engine.cache`.
+        """
+        return ("triangles", self.tps.fingerprint(), self.epsilon, self.backend)
 
     # ------------------------------------------------------------------
     def query(self, tau: float) -> List[TriangleRecord]:

@@ -7,7 +7,12 @@ from .temporal_gen import (
     session_lifespans,
     uniform_lifespans,
 )
-from .workloads import benchmark_workload, coauthorship_workload, social_forum_workload
+from .workloads import (
+    benchmark_workload,
+    coauthorship_workload,
+    social_forum_workload,
+    workload_from_spec,
+)
 
 __all__ = [
     "clustered_points",
@@ -21,4 +26,5 @@ __all__ = [
     "benchmark_workload",
     "coauthorship_workload",
     "social_forum_workload",
+    "workload_from_spec",
 ]

@@ -7,8 +7,10 @@ a generic benchmark workload with tunable density.
 
 from __future__ import annotations
 
-from typing import Optional
+import inspect
+from typing import Any, Mapping, Optional
 
+from ..errors import ValidationError
 from ..types import TemporalPointSet
 from .synthetic import clustered_points, manifold_points, uniform_points
 from .temporal_gen import career_lifespans, session_lifespans, uniform_lifespans
@@ -17,6 +19,7 @@ __all__ = [
     "social_forum_workload",
     "coauthorship_workload",
     "benchmark_workload",
+    "workload_from_spec",
 ]
 
 
@@ -82,3 +85,61 @@ def benchmark_workload(
         n, horizon=horizon, min_len=1.0, max_len=max_len, seed=seed
     )
     return TemporalPointSet(pts, starts, ends, metric=metric)
+
+
+#: Named workloads resolvable from a declarative dataset spec
+#: (``uniform`` is an alias kept for CLI compatibility).
+_NAMED_WORKLOADS = {
+    "uniform": benchmark_workload,
+    "benchmark": benchmark_workload,
+    "social": social_forum_workload,
+    "coauthor": coauthorship_workload,
+}
+
+
+def workload_from_spec(spec: Mapping[str, Any]) -> TemporalPointSet:
+    """Materialise a dataset from a declarative spec (batch files, CLI).
+
+    Recognised keys:
+
+    * ``csv`` — path to ``x1..xd,start,end`` rows; every other key but
+      ``metric`` is rejected;
+    * ``workload`` — one of ``uniform``/``benchmark``/``social``/
+      ``coauthor`` (default ``uniform``), plus any keyword the chosen
+      generator accepts (``n``, ``seed``, ``density``, …);
+    * ``metric`` — metric name passed through (default ``l2``).
+    """
+    if not isinstance(spec, Mapping):
+        raise ValidationError(f"dataset spec must be a mapping, got {spec!r}")
+    params = dict(spec)
+    metric = params.pop("metric", "l2")
+    csv = params.pop("csv", None)
+    if csv is not None:
+        if params:
+            raise ValidationError(
+                f"csv datasets accept only 'metric', got extra keys {sorted(params)}"
+            )
+        import numpy as np
+
+        rows = np.loadtxt(csv, delimiter=",", ndmin=2)
+        if rows.shape[1] < 3:
+            raise ValidationError("CSV needs at least x,start,end columns")
+        return TemporalPointSet(
+            rows[:, :-2], rows[:, -2], rows[:, -1], metric=metric
+        )
+    name = params.pop("workload", "uniform")
+    fn = _NAMED_WORKLOADS.get(name)
+    if fn is None:
+        raise ValidationError(
+            f"unknown workload {name!r}; expected one of "
+            f"{sorted(set(_NAMED_WORKLOADS))} (or a 'csv' path)"
+        )
+    params.setdefault("n", 400)
+    allowed = set(inspect.signature(fn).parameters)
+    unknown = set(params) - allowed
+    if unknown:
+        raise ValidationError(
+            f"workload {name!r} does not accept {sorted(unknown)}; "
+            f"valid keys: {sorted(allowed)}"
+        )
+    return fn(metric=metric, **params)

@@ -1,0 +1,38 @@
+"""Batched query engine with shared-index caching (ISSUE 1 tentpole).
+
+One preprocessing pass over a temporal proximity graph supports many
+durable-pattern reports; this package makes that operational:
+
+* :class:`~repro.engine.spec.QuerySpec` — declarative query description
+  (kind, τ or τ-sweep, κ, m, ε, metric-backend);
+* :class:`~repro.engine.cache.IndexCache` — single-flight shared-index
+  cache keyed by ``(family, dataset fingerprint, ε, backend)``;
+* :class:`~repro.engine.engine.QueryEngine` — plans batches, shares
+  indexes, executes independent queries on a thread pool, and reports
+  per-query timing plus cache statistics.
+
+``repro.api``, ``python -m repro batch`` and ``benchmarks/helpers.py``
+are all thin layers over this package.
+"""
+
+from .cache import CacheStats, IndexCache, IndexKey
+from .engine import QueryEngine
+from .planner import QueryPlan, distinct_index_keys, plan_batch, plan_query
+from .results import BatchResult, QueryResult, record_to_dict
+from .spec import KINDS, QuerySpec
+
+__all__ = [
+    "KINDS",
+    "QuerySpec",
+    "IndexKey",
+    "IndexCache",
+    "CacheStats",
+    "QueryPlan",
+    "plan_query",
+    "plan_batch",
+    "distinct_index_keys",
+    "QueryEngine",
+    "QueryResult",
+    "BatchResult",
+    "record_to_dict",
+]

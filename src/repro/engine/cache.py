@@ -1,0 +1,216 @@
+"""Shared-index cache: build every distinct index exactly once.
+
+The cache maps an :class:`IndexKey` — ``(family, dataset fingerprint,
+ε, backend, extras)`` — to a built index object.  It is safe under the
+engine's thread pool: concurrent requests for the same key block on a
+per-key event while the first requester builds, so a batch of queries
+that can share preprocessing performs exactly one build (asserted by
+the engine tests and by the acceptance criterion of ISSUE 1).
+
+Eviction is LRU when ``max_entries`` is set; the default cache is
+unbounded, which matches the bench harness's historical ``lru_cache``
+behaviour.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, NamedTuple, Optional, Tuple
+
+__all__ = ["IndexKey", "CacheStats", "IndexCache"]
+
+
+class IndexKey(NamedTuple):
+    """Identity of a shareable index.
+
+    Mirrors the ``cache_key()`` hooks on the core index classes
+    (:meth:`repro.core.triangles.DurableTriangleIndex.cache_key` and
+    friends): equal keys guarantee interchangeable indexes.
+    """
+
+    family: str
+    fingerprint: str
+    epsilon: float
+    backend: str
+    extra: Tuple[Any, ...] = ()
+
+
+@dataclass
+class CacheStats:
+    """Mutable hit/miss accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    builds: int = 0
+    evictions: int = 0
+    build_seconds: float = 0.0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests answered without building (0 when idle)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "builds": self.builds,
+            "evictions": self.evictions,
+            "build_seconds": self.build_seconds,
+            "hit_rate": self.hit_rate,
+        }
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            builds=self.builds,
+            evictions=self.evictions,
+            build_seconds=self.build_seconds,
+        )
+
+    def since(self, earlier: "CacheStats") -> "CacheStats":
+        """Activity between an earlier snapshot and now (per-batch stats)."""
+        return CacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            builds=self.builds - earlier.builds,
+            evictions=self.evictions - earlier.evictions,
+            build_seconds=self.build_seconds - earlier.build_seconds,
+        )
+
+
+@dataclass
+class _Entry:
+    """One cache slot; ``ready`` gates readers while the owner builds."""
+
+    ready: threading.Event = field(default_factory=threading.Event)
+    index: Any = None
+    error: Optional[BaseException] = None
+    build_seconds: float = 0.0
+
+
+class IndexCache:
+    """Thread-safe index cache with single-flight builds.
+
+    Parameters
+    ----------
+    max_entries:
+        LRU bound on resident indexes; ``None`` (default) keeps
+        everything.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries!r}")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[IndexKey, _Entry]" = OrderedDict()
+        self._stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def get_or_build(
+        self, key: IndexKey, builder: Callable[[], Any]
+    ) -> Tuple[Any, bool]:
+        """Return ``(index, was_hit)``, building at most once per key.
+
+        A failed build is not cached: the exception propagates to every
+        waiter of that flight and the next request retries.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._stats.hits += 1
+                owner = False
+            else:
+                entry = _Entry()
+                self._entries[key] = entry
+                self._stats.misses += 1
+                owner = True
+
+        if owner:
+            t0 = time.perf_counter()
+            try:
+                entry.index = builder()
+            except BaseException as exc:  # noqa: BLE001 - re-raised to waiters
+                entry.error = exc
+                with self._lock:
+                    # Drop the poisoned slot so a later call can retry.
+                    if self._entries.get(key) is entry:
+                        del self._entries[key]
+                entry.ready.set()
+                raise
+            entry.build_seconds = time.perf_counter() - t0
+            with self._lock:
+                self._stats.builds += 1
+                self._stats.build_seconds += entry.build_seconds
+                self._evict_locked()
+            entry.ready.set()
+            return entry.index, False
+
+        entry.ready.wait()
+        if entry.error is not None:
+            raise entry.error
+        return entry.index, True
+
+    def _evict_locked(self) -> None:
+        if self.max_entries is None:
+            return
+        while len(self._entries) > self.max_entries:
+            # Oldest *completed* entry; in-flight builds are never evicted
+            # (their waiters would otherwise re-trigger a duplicate build).
+            victim = next(
+                (k for k, e in self._entries.items() if e.ready.is_set()), None
+            )
+            if victim is None:
+                return
+            del self._entries[victim]
+            self._stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    def peek(self, key: IndexKey) -> Optional[Any]:
+        """The cached index for ``key`` without counting a request."""
+        with self._lock:
+            entry = self._entries.get(key)
+        if entry is None or not entry.ready.is_set():
+            return None
+        return entry.index
+
+    def build_seconds_for(self, key: IndexKey) -> float:
+        """Build wall-time of the cached index for ``key`` (0 if absent)."""
+        with self._lock:
+            entry = self._entries.get(key)
+        if entry is None or not entry.ready.is_set():
+            return 0.0
+        return entry.build_seconds
+
+    def clear(self) -> None:
+        """Drop every cached index (stats are kept; see :meth:`reset_stats`)."""
+        with self._lock:
+            self._entries.clear()
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._stats = CacheStats()
+
+    @property
+    def stats(self) -> CacheStats:
+        """Live stats object (use :meth:`CacheStats.snapshot` to freeze)."""
+        return self._stats
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: IndexKey) -> bool:
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry is not None and entry.ready.is_set()

@@ -1,0 +1,69 @@
+"""Concurrent plan execution with per-query timing.
+
+Plans run on a :class:`~concurrent.futures.ThreadPoolExecutor`; index
+builds are de-duplicated by the cache's single-flight discipline, so a
+batch whose queries share one index performs one build no matter how
+many workers race for it.  Query paths in this library are read-only
+(the indexes memoise nothing after construction), so concurrent queries
+against one shared index are safe and the result of a batch is
+deterministic: results come back in submission order, and each query's
+records are exactly what a sequential run would produce.
+
+Threads — not processes — are the right pool here: a process pool would
+have to pickle a full index per worker, forfeiting the shared build
+that is the engine's whole point.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, List, Optional, Sequence
+
+from .cache import IndexCache
+from .planner import QueryPlan
+from .results import QueryResult
+
+__all__ = ["execute_plans", "default_worker_count"]
+
+
+def default_worker_count(n_plans: int) -> int:
+    """Pool size: enough to cover the batch, bounded by the host CPUs."""
+    cpus = os.cpu_count() or 1
+    return max(1, min(n_plans, cpus))
+
+
+def _execute_one(plan: QueryPlan, cache: IndexCache) -> QueryResult:
+    index, hit = cache.get_or_build(plan.key, plan.builder)
+    records_by_tau: "OrderedDict[float, List[Any]]" = OrderedDict()
+    t0 = time.perf_counter()
+    for tau in plan.spec.taus:
+        records_by_tau[tau] = plan.runner(index, tau)
+    query_seconds = time.perf_counter() - t0
+    return QueryResult(
+        spec=plan.spec,
+        key=plan.key,
+        records_by_tau=records_by_tau,
+        cache_hit=hit,
+        build_seconds=0.0 if hit else cache.build_seconds_for(plan.key),
+        query_seconds=query_seconds,
+    )
+
+
+def execute_plans(
+    plans: Sequence[QueryPlan],
+    cache: IndexCache,
+    max_workers: Optional[int] = None,
+    parallel: bool = True,
+) -> List[QueryResult]:
+    """Run every plan; results are returned in submission order."""
+    if not plans:
+        return []
+    workers = max_workers if max_workers is not None else default_worker_count(len(plans))
+    if not parallel or workers <= 1 or len(plans) == 1:
+        return [_execute_one(p, cache) for p in plans]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(_execute_one, p, cache) for p in plans]
+        return [f.result() for f in futures]

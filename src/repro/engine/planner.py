@@ -1,0 +1,161 @@
+"""Query planning: map specs onto index families and cache keys.
+
+``plan_batch`` turns ``(TemporalPointSet, [QuerySpec, …])`` into
+:class:`QueryPlan` objects carrying everything the executor needs: the
+:class:`~repro.engine.cache.IndexKey` under which the preprocessing
+pass may be shared, a builder closure, and a per-τ runner.  Planning is
+pure — no index is built here — so a plan can also be inspected to
+predict how many distinct builds a batch will trigger
+(:func:`distinct_index_keys`).
+
+Resolution rules (kept bit-identical to the historical ``repro.api``
+behaviour, plus the ISSUE 1 bugfix):
+
+* ``triangles`` with ``backend="linf-exact"`` or ``exact=True``
+  **requires** the ℓ∞ metric and raises
+  :class:`~repro.errors.ValidationError` otherwise (previously the
+  mismatch surfaced as a structural :class:`BackendError`, or not at
+  all through some call paths);
+* ``triangles`` with ``backend="auto"`` on an ℓ∞ input is promoted to
+  the exact solver unless ``exact=False``;
+* pair and pattern kinds treat ``backend="linf-exact"`` as ``auto``
+  (their solvers have no exact ℓ∞ variant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Sequence, Tuple
+
+from ..core.aggregate import SumPairIndex, UnionPairIndex
+from ..core.linf import LinfTriangleIndex
+from ..core.patterns import PatternIndex
+from ..core.triangles import DurableTriangleIndex
+from ..errors import ValidationError
+from ..geometry.metrics import ChebyshevMetric
+from ..structures.durable_ball import resolve_backend
+from ..types import TemporalPointSet
+from .cache import IndexKey
+from .spec import PATTERN_KINDS, QuerySpec
+
+__all__ = ["QueryPlan", "plan_query", "plan_batch", "distinct_index_keys"]
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """One executable query: spec + shared-index identity + callables."""
+
+    order: int
+    spec: QuerySpec
+    key: IndexKey
+    builder: Callable[[], Any]
+    runner: Callable[[Any, float], list]
+
+
+def _spatial_backend(backend: str) -> str:
+    """The spatial backend pair/pattern solvers receive (api parity)."""
+    return "auto" if backend == "linf-exact" else backend
+
+
+def _resolved_spatial(backend: str) -> str:
+    """Normalise ``auto`` for cache keys, via the one canonical rule."""
+    return resolve_backend(_spatial_backend(backend))
+
+
+def _wants_exact_triangles(spec: QuerySpec, tps: TemporalPointSet) -> bool:
+    if spec.exact is False:
+        return False
+    if spec.exact is True or spec.backend == "linf-exact":
+        if not isinstance(tps.metric, ChebyshevMetric):
+            raise ValidationError(
+                "the exact triangle backend requires the linf metric, got "
+                f"{tps.metric.name!r}; use backend='auto' (or exact=False) "
+                "for approximate reporting under this metric"
+            )
+        return True
+    return spec.backend == "auto" and isinstance(tps.metric, ChebyshevMetric)
+
+
+def plan_query(order: int, spec: QuerySpec, tps: TemporalPointSet) -> QueryPlan:
+    """Resolve one spec against a dataset (validates, never builds)."""
+    fp = tps.fingerprint()
+    if spec.kind == "triangles":
+        if _wants_exact_triangles(spec, tps):
+            key = IndexKey("linf-triangles", fp, 0.0, "linf-exact")
+            builder = lambda: LinfTriangleIndex(tps)  # noqa: E731
+        else:
+            key = IndexKey(
+                "triangles", fp, spec.epsilon, _resolved_spatial(spec.backend)
+            )
+            builder = lambda: DurableTriangleIndex(  # noqa: E731
+                tps, epsilon=spec.epsilon, backend=_spatial_backend(spec.backend)
+            )
+        runner = lambda index, tau: index.query(tau)  # noqa: E731
+    elif spec.kind == "pairs-sum":
+        key = IndexKey(
+            "pairs-sum",
+            fp,
+            spec.epsilon,
+            _resolved_spatial(spec.backend),
+            (spec.sum_backend,),
+        )
+        builder = lambda: SumPairIndex(  # noqa: E731
+            tps,
+            epsilon=spec.epsilon,
+            backend=_spatial_backend(spec.backend),
+            sum_backend=spec.sum_backend,
+        )
+        runner = lambda index, tau: index.query(tau)  # noqa: E731
+    elif spec.kind == "pairs-union":
+        key = IndexKey(
+            "pairs-union", fp, spec.epsilon, _resolved_spatial(spec.backend)
+        )
+        builder = lambda: UnionPairIndex(  # noqa: E731
+            tps, epsilon=spec.epsilon, backend=_spatial_backend(spec.backend)
+        )
+        kappa = spec.kappa
+        runner = lambda index, tau: index.query(tau, kappa)  # noqa: E731
+    elif spec.kind in PATTERN_KINDS:
+        key = IndexKey(
+            "patterns", fp, spec.epsilon, _resolved_spatial(spec.backend)
+        )
+        builder = lambda: PatternIndex(  # noqa: E731
+            tps, epsilon=spec.epsilon, backend=_spatial_backend(spec.backend)
+        )
+        m = spec.m
+        iter_name = {
+            "cliques": "iter_cliques",
+            "paths": "iter_paths",
+            "stars": "iter_stars",
+        }[spec.kind]
+        runner = lambda index, tau: list(  # noqa: E731
+            getattr(index, iter_name)(m, tau)
+        )
+    else:  # pragma: no cover - QuerySpec already rejects unknown kinds
+        raise ValidationError(f"unknown query kind {spec.kind!r}")
+    return QueryPlan(order=order, spec=spec, key=key, builder=builder, runner=runner)
+
+
+def plan_batch(
+    specs: Sequence[QuerySpec], tps: TemporalPointSet
+) -> List[QueryPlan]:
+    """Plan every spec of a batch against one dataset.
+
+    Validation errors carry the batch position so a bad entry in a
+    40-query file is easy to locate.
+    """
+    plans: List[QueryPlan] = []
+    for order, spec in enumerate(specs):
+        try:
+            plans.append(plan_query(order, spec, tps))
+        except ValidationError as exc:
+            raise ValidationError(f"query #{order}: {exc}") from exc
+    return plans
+
+
+def distinct_index_keys(plans: Sequence[QueryPlan]) -> Tuple[IndexKey, ...]:
+    """The distinct indexes a batch will build (in first-use order)."""
+    seen: dict = {}
+    for plan in plans:
+        seen.setdefault(plan.key, None)
+    return tuple(seen)

@@ -1,0 +1,119 @@
+"""Result envelopes for engine queries: records + timing + provenance.
+
+Each executed plan yields a :class:`QueryResult` carrying the raw
+record objects (:class:`~repro.types.TriangleRecord`,
+:class:`~repro.types.PairRecord`, :class:`~repro.types.PatternRecord`)
+per durability value, whether the shared index came from cache, and
+wall-clock build/query timings.  ``to_dict`` flattens everything into
+the JSON shape emitted by ``python -m repro batch``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Tuple
+
+from ..types import PairRecord, PatternRecord, TriangleRecord
+from .cache import IndexKey
+from .spec import QuerySpec
+
+__all__ = ["QueryResult", "BatchResult", "record_to_dict"]
+
+
+def record_to_dict(record: Any) -> Dict[str, Any]:
+    """Serialise one reported pattern record to plain JSON types."""
+    if isinstance(record, TriangleRecord):
+        return {
+            "type": "triangle",
+            "ids": list(record.ids),
+            "lifespan": [record.lifespan.start, record.lifespan.end],
+            "durability": record.durability,
+        }
+    if isinstance(record, PairRecord):
+        return {"type": "pair", "p": record.p, "q": record.q, "score": record.score}
+    if isinstance(record, PatternRecord):
+        return {
+            "type": record.kind,
+            "members": list(record.members),
+            "lifespan": [record.lifespan.start, record.lifespan.end],
+            "durability": record.durability,
+        }
+    raise TypeError(f"cannot serialise record of type {type(record).__name__}")
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one :class:`~repro.engine.spec.QuerySpec`."""
+
+    spec: QuerySpec
+    key: IndexKey
+    records_by_tau: Mapping[float, List[Any]]
+    cache_hit: bool
+    build_seconds: float
+    query_seconds: float
+
+    @property
+    def records(self) -> List[Any]:
+        """Records of a single-τ query (flattened across τ for sweeps)."""
+        if len(self.records_by_tau) == 1:
+            return next(iter(self.records_by_tau.values()))
+        out: List[Any] = []
+        for recs in self.records_by_tau.values():
+            out.extend(recs)
+        return out
+
+    @property
+    def count(self) -> int:
+        return sum(len(r) for r in self.records_by_tau.values())
+
+    def to_dict(self, include_records: bool = True) -> Dict[str, Any]:
+        sweeps = []
+        for tau, recs in self.records_by_tau.items():
+            entry: Dict[str, Any] = {"tau": tau, "count": len(recs)}
+            if include_records:
+                entry["records"] = [record_to_dict(r) for r in recs]
+            sweeps.append(entry)
+        return {
+            "spec": self.spec.to_dict(),
+            "index": {
+                "family": self.key.family,
+                "fingerprint": self.key.fingerprint,
+                "epsilon": self.key.epsilon,
+                "backend": self.key.backend,
+            },
+            "cache_hit": self.cache_hit,
+            "build_seconds": self.build_seconds,
+            "query_seconds": self.query_seconds,
+            "results": sweeps,
+        }
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of :meth:`repro.engine.QueryEngine.run_batch`.
+
+    ``cache_stats`` covers only this batch's cache activity; the
+    engine's cumulative figures live on ``engine.stats``.
+    """
+
+    results: Tuple[QueryResult, ...]
+    wall_seconds: float
+    distinct_indexes: int
+    cache_stats: Dict[str, Any]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, i: int) -> QueryResult:
+        return self.results[i]
+
+    def to_dict(self, include_records: bool = True) -> Dict[str, Any]:
+        return {
+            "wall_seconds": self.wall_seconds,
+            "distinct_indexes": self.distinct_indexes,
+            "cache": self.cache_stats,
+            "queries": [r.to_dict(include_records) for r in self.results],
+        }

@@ -1,0 +1,231 @@
+"""Declarative query specifications for the batched engine.
+
+A :class:`QuerySpec` names *what* to report — pattern kind, durability
+threshold(s), approximation and backend parameters — without touching
+any index machinery.  The planner (:mod:`repro.engine.planner`) maps a
+spec onto an index family and a cache key so that all specs that can
+legally share one preprocessing pass do so (the "one index, many
+reports" regime the paper's Theorems 3.1/4.2/5.1/5.2 are built around).
+
+Specs are plain frozen dataclasses: hashable, comparable, serialisable
+via :meth:`QuerySpec.to_dict` / :meth:`QuerySpec.from_dict` (the wire
+format of ``python -m repro batch``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["KINDS", "QuerySpec"]
+
+#: Integral types accepted for κ and m (numpy scalars included, as the
+#: core solvers always have).
+_INTEGRAL = (int, np.integer)
+
+
+def _as_float(value: Any, what: str) -> float:
+    """Coerce a numeric parameter, raising :class:`ValidationError` (not a
+    bare ``ValueError``/``TypeError``) on junk so CLI error handling holds."""
+    try:
+        return float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{what} must be a number, got {value!r}") from exc
+
+#: Pattern kinds the engine can execute.
+KINDS = (
+    "triangles",
+    "cliques",
+    "paths",
+    "stars",
+    "pairs-sum",
+    "pairs-union",
+)
+
+#: Kinds served by the shared :class:`~repro.core.patterns.PatternIndex`.
+PATTERN_KINDS = ("cliques", "paths", "stars")
+
+#: Accepted ``backend`` values (``linf-exact`` is triangle-specific; for
+#: pair/pattern kinds it degrades to ``auto`` exactly as ``repro.api``
+#: always has).
+BACKENDS = ("auto", "cover-tree", "grid", "linf-exact")
+
+_SUM_BACKENDS = ("profile", "tree")
+
+TauInput = Union[float, int, Iterable[float]]
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One declarative query in a batch.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`KINDS`.
+    taus:
+        Durability threshold(s).  A scalar is normalised to a 1-tuple; a
+        sequence requests a τ-sweep answered from one shared index.
+    epsilon:
+        Distance approximation ``ε ∈ (0, 1]`` (ignored by the exact ℓ∞
+        triangle solver).
+    backend:
+        Spatial backend, one of :data:`BACKENDS`.
+    kappa:
+        Witness budget κ — required for ``pairs-union``, rejected
+        elsewhere.
+    m:
+        Pattern size for ``cliques``/``paths``/``stars`` (default 3),
+        rejected elsewhere.
+    sum_backend:
+        ``"profile"`` or ``"tree"`` for ``pairs-sum``.
+    exact:
+        Triangle-only override of the exact/approximate choice:
+        ``True`` forces the ℓ∞-exact solver, ``False`` forbids the
+        automatic promotion that ``backend="auto"`` performs on ℓ∞
+        inputs, ``None`` keeps the promotion rules of ``repro.api``.
+    label:
+        Free-form tag echoed into results (useful in batch files).
+    """
+
+    kind: str
+    taus: Tuple[float, ...] = field(default=())
+    epsilon: float = 0.5
+    backend: str = "auto"
+    kappa: Optional[int] = None
+    m: Optional[int] = None
+    sum_backend: str = "profile"
+    exact: Optional[bool] = None
+    label: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValidationError(
+                f"unknown query kind {self.kind!r}; expected one of {', '.join(KINDS)}"
+            )
+        object.__setattr__(self, "taus", self._normalise_taus(self.taus))
+        object.__setattr__(self, "epsilon", _as_float(self.epsilon, "epsilon"))
+        if not 0 < self.epsilon <= 1:
+            raise ValidationError(
+                f"epsilon must lie in (0, 1], got {self.epsilon!r}"
+            )
+        if self.backend not in BACKENDS:
+            raise ValidationError(
+                f"unknown backend {self.backend!r}; expected one of {', '.join(BACKENDS)}"
+            )
+        if self.sum_backend not in _SUM_BACKENDS:
+            raise ValidationError(
+                f"unknown sum backend {self.sum_backend!r}; "
+                f"expected one of {', '.join(_SUM_BACKENDS)}"
+            )
+        self._validate_kind_params()
+
+    @staticmethod
+    def _normalise_taus(taus: TauInput) -> Tuple[float, ...]:
+        # Strings are scalars here, never iterables: a quoted "12" in a
+        # hand-written batch file must not become the sweep (1.0, 2.0).
+        if isinstance(taus, (int, float, str, bytes, np.integer, np.floating)):
+            taus = (taus,)
+        try:
+            items = tuple(taus)
+        except TypeError as exc:
+            raise ValidationError(
+                f"tau must be a number or a sequence of numbers, got {taus!r}"
+            ) from exc
+        out = tuple(_as_float(t, "durability parameter") for t in items)
+        if not out:
+            raise ValidationError("a query needs at least one durability value tau")
+        for t in out:
+            if not (math.isfinite(t) and t > 0):
+                raise ValidationError(
+                    f"durability parameter must be positive and finite, got {t!r}"
+                )
+        return out
+
+    def _validate_kind_params(self) -> None:
+        if self.kind == "pairs-union":
+            if not (isinstance(self.kappa, _INTEGRAL) and self.kappa >= 1):
+                raise ValidationError(
+                    f"pairs-union requires a positive integer kappa, got {self.kappa!r}"
+                )
+            object.__setattr__(self, "kappa", int(self.kappa))
+        elif self.kappa is not None:
+            raise ValidationError("kappa is only valid for pairs-union queries")
+        if self.kind in PATTERN_KINDS:
+            m = 3 if self.m is None else self.m
+            if not (isinstance(m, _INTEGRAL) and m >= 2):
+                raise ValidationError(
+                    f"pattern size m must be an integer >= 2, got {self.m!r}"
+                )
+            object.__setattr__(self, "m", int(m))
+        elif self.m is not None:
+            raise ValidationError("m is only valid for clique/path/star queries")
+        if self.exact is not None and self.kind != "triangles":
+            raise ValidationError("exact is only valid for triangle queries")
+        if self.exact is False and self.backend == "linf-exact":
+            raise ValidationError(
+                "exact=False contradicts backend='linf-exact'"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def tau(self) -> float:
+        """The single durability value of a non-sweep spec."""
+        if len(self.taus) != 1:
+            raise ValidationError(
+                f"spec sweeps {len(self.taus)} tau values; use .taus"
+            )
+        return self.taus[0]
+
+    @property
+    def is_sweep(self) -> bool:
+        return len(self.taus) > 1
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        out: Dict[str, Any] = {"kind": self.kind, "taus": list(self.taus)}
+        for name, default in (
+            ("epsilon", 0.5),
+            ("backend", "auto"),
+            ("kappa", None),
+            ("m", None),
+            ("sum_backend", "profile"),
+            ("exact", None),
+            ("label", None),
+        ):
+            value = getattr(self, name)
+            if value != default:
+                out[name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "QuerySpec":
+        """Build a spec from a batch-file entry.
+
+        Accepts ``tau`` (scalar) or ``taus`` (scalar or list); every
+        other key must be a spec field.
+        """
+        if not isinstance(data, Mapping):
+            raise ValidationError(f"query entry must be a mapping, got {data!r}")
+        payload = dict(data)
+        if "tau" in payload and "taus" in payload:
+            raise ValidationError("give either 'tau' or 'taus', not both")
+        if "tau" in payload:
+            payload["taus"] = payload.pop("tau")
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValidationError(
+                f"unknown query field(s) {sorted(unknown)}; expected a subset of "
+                f"{sorted(known | {'tau'})}"
+            )
+        if "kind" not in payload:
+            raise ValidationError("query entry is missing 'kind'")
+        return cls(**payload)

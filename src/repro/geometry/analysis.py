@@ -9,13 +9,10 @@ practice the paper cites ([23], [45]).
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from ..errors import ValidationError
-from .grid import UniformGrid
-from .metrics import Metric, MetricSpec, get_metric
+from .metrics import MetricSpec, get_metric
 
 __all__ = [
     "spread",

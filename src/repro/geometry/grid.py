@@ -9,7 +9,7 @@ keep the per-point work constant under bounded doubling dimension) and
 from __future__ import annotations
 
 from itertools import product
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
 

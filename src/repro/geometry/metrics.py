@@ -60,6 +60,15 @@ class Metric(ABC):
         """
         raise MetricError(f"metric {self.name!r} does not support grid decompositions")
 
+    def cache_token(self) -> str:
+        """Identity token folded into dataset fingerprints and cache keys.
+
+        Two metrics with equal tokens must compute equal distances; named
+        norms use their name, opaque callables must override to avoid
+        false cache sharing.
+        """
+        return self.name
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
 
@@ -160,6 +169,11 @@ class FunctionMetric(Metric):
         return np.fromiter(
             (self._fn(row, y) for row in pts), dtype=float, count=len(pts)
         )
+
+    def cache_token(self) -> str:
+        # Distinct callables may share a name; key on the function
+        # identity so an index is never reused across different oracles.
+        return f"{self.name}@{id(self._fn):x}"
 
 
 _NAMED = {

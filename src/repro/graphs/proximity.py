@@ -8,7 +8,7 @@ near ``O(n + m)`` for bounded-spread inputs.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from typing import Iterator, List, Tuple
 
 import numpy as np
 

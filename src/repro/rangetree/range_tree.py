@@ -20,8 +20,7 @@ enumeration is a filtered scan of the stab prefix.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..errors import ValidationError
 

@@ -6,6 +6,7 @@ from .durable_ball import (
     DurableBallStructure,
     SplitBallSubset,
     make_decomposition,
+    resolve_backend,
 )
 
 __all__ = [
@@ -16,4 +17,5 @@ __all__ = [
     "DurableBallStructure",
     "SplitBallSubset",
     "make_decomposition",
+    "resolve_backend",
 ]

@@ -21,8 +21,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-import numpy as np
-
 from ..covertree.ball_query import CoverTreeDecomposition
 from ..errors import BackendError, ValidationError
 from ..quadtree.tree import GridDecomposition
@@ -34,9 +32,27 @@ from ..structures.decomposition import (
 from ..temporal.dominance import DominanceIndex, RunSet
 from ..types import TemporalPointSet
 
-__all__ = ["BallSubset", "SplitBallSubset", "DurableBallStructure", "make_decomposition"]
+__all__ = [
+    "BallSubset",
+    "SplitBallSubset",
+    "DurableBallStructure",
+    "make_decomposition",
+    "resolve_backend",
+]
 
 _INF = float("inf")
+
+
+def resolve_backend(backend: str) -> str:
+    """Canonical spatial-backend name: ``auto`` resolves to the cover
+    tree (the paper's general-metric structure).
+
+    This is the single source of truth for the resolution — the index
+    classes' ``cache_key()`` hooks and the engine planner's
+    :class:`~repro.engine.cache.IndexKey` both rely on it, so two
+    queries share a cached index exactly when this function agrees.
+    """
+    return "cover-tree" if backend == "auto" else backend
 
 
 def make_decomposition(
@@ -47,8 +63,7 @@ def make_decomposition(
     ``backend`` is ``"cover-tree"``, ``"grid"`` or ``"auto"`` (cover tree,
     the paper's general-metric structure).
     """
-    if backend == "auto":
-        backend = "cover-tree"
+    backend = resolve_backend(backend)
     if backend == "cover-tree":
         return CoverTreeDecomposition(tps.points, tps.metric, resolution)
     if backend == "grid":

@@ -22,7 +22,7 @@ Structures:
 from __future__ import annotations
 
 import bisect
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from ..errors import ValidationError
 

@@ -7,13 +7,14 @@ and one lifespan interval per point.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .errors import ValidationError
-from .geometry.metrics import Metric, MetricSpec, get_metric
+from .geometry.metrics import MetricSpec, get_metric
 from .temporal.interval import Interval, intersect_many
 
 __all__ = ["TemporalPointSet", "TriangleRecord", "PairRecord", "PatternRecord"]
@@ -37,7 +38,7 @@ class TemporalPointSet:
     ``r`` to 1; rescale coordinates by ``1/r`` to use other thresholds.
     """
 
-    __slots__ = ("points", "starts", "ends", "metric", "_start_keys")
+    __slots__ = ("points", "starts", "ends", "metric", "_start_keys", "_fingerprint")
 
     def __init__(
         self,
@@ -71,6 +72,7 @@ class TemporalPointSet:
         self.ends = e
         self.metric = get_metric(metric)
         self._start_keys: Optional[List[Tuple[float, int]]] = None
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     @property
@@ -109,6 +111,25 @@ class TemporalPointSet:
     def pattern_lifespan(self, members: Iterable[int]) -> Interval:
         """``I(p_1, …, p_m) = ∩ I_{p_i}`` for a candidate pattern."""
         return intersect_many(self.lifespan(i) for i in members)
+
+    def fingerprint(self) -> str:
+        """Content hash identifying this dataset for index-cache keys.
+
+        Hashes the coordinate and lifespan arrays plus the metric's
+        :meth:`~repro.geometry.metrics.Metric.cache_token`, so two point
+        sets with equal contents and metric share every cached index.
+        Computed once and memoised (the arrays are treated as immutable,
+        as everywhere else in the library).
+        """
+        if self._fingerprint is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(str(self.points.shape).encode())
+            h.update(np.ascontiguousarray(self.points).tobytes())
+            h.update(np.ascontiguousarray(self.starts).tobytes())
+            h.update(np.ascontiguousarray(self.ends).tobytes())
+            h.update(self.metric.cache_token().encode())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     def subset(self, ids: Sequence[int]) -> "TemporalPointSet":
         """A new point set restricted to ``ids`` (ids are re-numbered)."""

@@ -107,6 +107,23 @@ class TestConvenienceFunctions:
         got = {r.key for r in find_durable_triangles(tps, 2.0, backend="linf-exact")}
         assert got == brute_force_triangle_keys(tps, 2.0)
 
+    def test_exact_backend_rejects_non_linf_metric(self):
+        # Regression (ISSUE 1): requesting the exact ℓ∞ algorithm on a
+        # non-ℓ∞ metric must fail validation, not run with ℓ∞ semantics.
+        for metric in ("l2", "l1", ("lp", 3.0)):
+            tps = random_tps(n=20, seed=8, metric=metric)
+            with pytest.raises(ValidationError):
+                find_durable_triangles(tps, 2.0, backend="linf-exact")
+
+    def test_repeated_api_calls_share_one_index(self):
+        engine = repro.default_engine()
+        engine.reset()
+        tps = random_tps(n=40, seed=9)
+        first = find_durable_triangles(tps, 3.0)
+        again = find_durable_triangles(tps, 4.0)
+        assert engine.stats.builds == 1
+        assert {r.key for r in again} <= {r.key for r in first}
+
     def test_find_sum_pairs_runs(self):
         tps = random_tps(n=40, seed=6)
         recs = find_sum_durable_pairs(tps, 3.0)

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import numpy as np
 import pytest
@@ -93,3 +94,98 @@ class TestWorkloadLoading:
             args = build_parser().parse_args(["info", "--workload", name, "--n", "50"])
             tps = load_workload(args)
             assert tps.n == 50 and tps.dim == dim
+
+
+QUERIES = [
+    {"kind": "triangles", "taus": [3, 6]},
+    {"kind": "triangles", "tau": 4},
+    {"kind": "pairs-sum", "tau": 5},
+    {"kind": "pairs-union", "tau": 5, "kappa": 2},
+    {"kind": "cliques", "tau": 4, "m": 3, "label": "triads"},
+]
+
+
+class TestBatchCommand:
+    def test_batch_list_file(self, tmp_path):
+        path = tmp_path / "queries.json"
+        path.write_text(json.dumps(QUERIES))
+        code, text = run_cli("batch", str(path), "--n", "100")
+        assert code == 0
+        assert "5 queries, 4 distinct indexes" in text
+        assert "(triads)" in text
+
+    def test_batch_dataset_in_file(self, tmp_path):
+        path = tmp_path / "queries.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "dataset": {"workload": "social", "n": 80, "seed": 1},
+                    "queries": QUERIES,
+                }
+            )
+        )
+        code, text = run_cli("batch", str(path))
+        assert code == 0
+        assert "n=80" in text
+
+    def test_batch_json_output(self, tmp_path):
+        qfile = tmp_path / "queries.json"
+        qfile.write_text(json.dumps(QUERIES))
+        out = tmp_path / "results.json"
+        code, _ = run_cli(
+            "batch", str(qfile), "--n", "100", "--output", str(out)
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["distinct_indexes"] == 4
+        assert len(payload["queries"]) == len(QUERIES)
+        assert payload["dataset"]["n"] == 100
+        sweep = payload["queries"][0]["results"]
+        assert [e["tau"] for e in sweep] == [3.0, 6.0]
+
+    def test_batch_output_to_stdout(self, tmp_path):
+        qfile = tmp_path / "queries.json"
+        qfile.write_text(json.dumps(QUERIES[:1]))
+        code, text = run_cli(
+            "batch", str(qfile), "--n", "80", "--output", "-", "--no-records"
+        )
+        assert code == 0
+        payload = json.loads(text[text.index("{"):])
+        assert "records" not in payload["queries"][0]["results"][0]
+
+    def test_batch_matches_single_query_commands(self, tmp_path):
+        qfile = tmp_path / "queries.json"
+        qfile.write_text(json.dumps([{"kind": "triangles", "tau": 6}]))
+        _, batch_text = run_cli("batch", str(qfile), "--n", "150", "--sequential")
+        _, single_text = run_cli("triangles", "--n", "150", "--tau", "6")
+        n_single = int(single_text.split("durable triangles: ")[1].split("\n")[0])
+        assert f"{n_single} records" in batch_text
+
+    def test_batch_yaml_file(self, tmp_path):
+        yaml = pytest.importorskip("yaml")
+        path = tmp_path / "queries.yaml"
+        path.write_text(yaml.safe_dump({"queries": QUERIES}))
+        code, text = run_cli("batch", str(path), "--n", "80")
+        assert code == 0
+        assert "5 queries" in text
+
+    @pytest.mark.parametrize(
+        "content",
+        [
+            "not json at all",
+            "[]",
+            '{"queries": []}',
+            '{"nothing": 1}',
+            '[{"kind": "bogus", "tau": 1}]',
+            '[{"kind": "triangles"}]',
+        ],
+    )
+    def test_batch_bad_files_exit_2(self, tmp_path, content):
+        path = tmp_path / "queries.json"
+        path.write_text(content)
+        code, _ = run_cli("batch", str(path), "--n", "50")
+        assert code == 2
+
+    def test_batch_missing_file_exits_2(self):
+        code, _ = run_cli("batch", "/nonexistent/queries.json")
+        assert code == 2

@@ -1,6 +1,5 @@
 """Direct tests of the durable-ball structures D and D' (Section 2.2)."""
 
-import numpy as np
 import pytest
 
 from repro import TemporalPointSet, ValidationError

@@ -1,0 +1,422 @@
+"""Tests for the batched query engine (ISSUE 1 tentpole).
+
+Covers the acceptance criterion — a batch of ≥10 mixed queries over one
+dataset builds each distinct index exactly once and matches per-call
+``repro.api`` results — plus cache accounting, τ-sweep equivalence,
+concurrent-batch determinism, spec validation and serialisation, and
+the ``cache_key()`` hooks on the core index classes.
+"""
+
+import threading
+
+import pytest
+
+from repro import (
+    QueryEngine,
+    QuerySpec,
+    ValidationError,
+    find_durable_cliques,
+    find_durable_triangles,
+    find_sum_durable_pairs,
+    find_union_durable_pairs,
+)
+from repro.engine import IndexCache, IndexKey, plan_batch, plan_query
+from repro.engine.planner import distinct_index_keys
+
+from conftest import random_tps
+
+
+# ----------------------------------------------------------------------
+# QuerySpec
+# ----------------------------------------------------------------------
+class TestQuerySpec:
+    def test_scalar_tau_normalised(self):
+        spec = QuerySpec(kind="triangles", taus=5)
+        assert spec.taus == (5.0,) and spec.tau == 5.0 and not spec.is_sweep
+
+    def test_sweep(self):
+        spec = QuerySpec(kind="triangles", taus=[2, 4, 8])
+        assert spec.is_sweep
+        with pytest.raises(ValidationError):
+            spec.tau
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "nonsense", "taus": 1.0},
+            {"kind": "triangles", "taus": ()},
+            {"kind": "triangles", "taus": 0.0},
+            {"kind": "triangles", "taus": -3.0},
+            {"kind": "triangles", "taus": float("inf")},
+            {"kind": "triangles", "taus": 1.0, "epsilon": 0.0},
+            {"kind": "triangles", "taus": 1.0, "epsilon": 1.5},
+            {"kind": "triangles", "taus": 1.0, "backend": "bogus"},
+            {"kind": "pairs-union", "taus": 1.0},  # missing kappa
+            {"kind": "pairs-union", "taus": 1.0, "kappa": 0},
+            {"kind": "triangles", "taus": 1.0, "kappa": 2},
+            {"kind": "cliques", "taus": 1.0, "m": 1},
+            {"kind": "triangles", "taus": 1.0, "m": 3},
+            {"kind": "pairs-sum", "taus": 1.0, "exact": True},
+            {"kind": "triangles", "taus": 1.0, "backend": "linf-exact", "exact": False},
+            {"kind": "pairs-sum", "taus": 1.0, "sum_backend": "bogus"},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            QuerySpec(**kwargs)
+
+    def test_pattern_m_defaults_to_three(self):
+        assert QuerySpec(kind="cliques", taus=2.0).m == 3
+
+    def test_string_tau_is_a_scalar_not_a_sweep(self):
+        # A quoted number in a hand-written batch file must not be
+        # iterated character-by-character into a sweep.
+        assert QuerySpec(kind="triangles", taus="12").taus == (12.0,)
+        assert QuerySpec.from_dict({"kind": "triangles", "tau": "6"}).taus == (6.0,)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "triangles", "taus": "abc"},
+            {"kind": "triangles", "taus": [3.0, "x"]},
+            {"kind": "triangles", "taus": 3.0, "epsilon": "half"},
+            {"kind": "triangles", "taus": None},
+        ],
+    )
+    def test_non_numeric_parameters_raise_validation_error(self, kwargs):
+        # Never a bare ValueError/TypeError: the CLI's error contract
+        # (message + exit 2) depends on ReproError subclasses.
+        with pytest.raises(ValidationError):
+            QuerySpec(**kwargs)
+
+    def test_round_trip(self):
+        spec = QuerySpec(
+            kind="pairs-union", taus=(3.0, 6.0), kappa=2, epsilon=0.25, label="x"
+        )
+        assert QuerySpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_scalar_tau(self):
+        assert QuerySpec.from_dict({"kind": "triangles", "tau": 4}).taus == (4.0,)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValidationError):
+            QuerySpec.from_dict({"kind": "triangles", "tau": 4, "tua": 5})
+
+    def test_from_dict_rejects_tau_and_taus(self):
+        with pytest.raises(ValidationError):
+            QuerySpec.from_dict({"kind": "triangles", "tau": 4, "taus": [4]})
+
+    def test_hashable(self):
+        assert len({QuerySpec(kind="triangles", taus=4.0)} | {
+            QuerySpec(kind="triangles", taus=4.0)
+        }) == 1
+
+
+# ----------------------------------------------------------------------
+# Planner / cache keys
+# ----------------------------------------------------------------------
+class TestPlanner:
+    def test_same_parameters_share_a_key(self, small_tps):
+        plans = plan_batch(
+            [
+                QuerySpec(kind="triangles", taus=3.0),
+                QuerySpec(kind="triangles", taus=7.0),
+                QuerySpec(kind="triangles", taus=(2.0, 4.0)),
+            ],
+            small_tps,
+        )
+        assert len(distinct_index_keys(plans)) == 1
+
+    def test_epsilon_fragments_the_key(self, small_tps):
+        plans = plan_batch(
+            [
+                QuerySpec(kind="triangles", taus=3.0, epsilon=0.5),
+                QuerySpec(kind="triangles", taus=3.0, epsilon=0.25),
+            ],
+            small_tps,
+        )
+        assert len(distinct_index_keys(plans)) == 2
+
+    def test_auto_and_explicit_cover_tree_share(self, small_tps):
+        plans = plan_batch(
+            [
+                QuerySpec(kind="triangles", taus=3.0, backend="auto"),
+                QuerySpec(kind="triangles", taus=3.0, backend="cover-tree"),
+            ],
+            small_tps,
+        )
+        assert len(distinct_index_keys(plans)) == 1
+
+    def test_pattern_kinds_share_one_index(self, small_tps):
+        plans = plan_batch(
+            [
+                QuerySpec(kind="cliques", taus=3.0),
+                QuerySpec(kind="paths", taus=3.0, m=4),
+                QuerySpec(kind="stars", taus=3.0),
+            ],
+            small_tps,
+        )
+        assert len(distinct_index_keys(plans)) == 1
+
+    def test_linf_auto_promotes_to_exact(self):
+        tps = random_tps(n=30, seed=2, metric="linf")
+        plan = plan_query(0, QuerySpec(kind="triangles", taus=3.0), tps)
+        assert plan.key.family == "linf-triangles"
+        # ...and ε no longer fragments the shared exact index.
+        other = plan_query(
+            0, QuerySpec(kind="triangles", taus=3.0, epsilon=0.25), tps
+        )
+        assert other.key == plan.key
+
+    def test_exact_false_stays_approximate_on_linf(self):
+        tps = random_tps(n=30, seed=2, metric="linf")
+        plan = plan_query(
+            0, QuerySpec(kind="triangles", taus=3.0, exact=False), tps
+        )
+        assert plan.key.family == "triangles"
+
+    def test_exact_requires_linf_metric(self, small_tps):
+        for spec in (
+            QuerySpec(kind="triangles", taus=3.0, backend="linf-exact"),
+            QuerySpec(kind="triangles", taus=3.0, exact=True),
+        ):
+            with pytest.raises(ValidationError):
+                plan_query(0, spec, small_tps)
+
+    def test_batch_error_names_the_query(self, small_tps):
+        with pytest.raises(ValidationError, match="query #1"):
+            plan_batch(
+                [
+                    QuerySpec(kind="triangles", taus=3.0),
+                    QuerySpec(kind="triangles", taus=3.0, backend="linf-exact"),
+                ],
+                small_tps,
+            )
+
+    def test_index_cache_key_hook_matches_plan_key(self, small_tps):
+        engine = QueryEngine()
+        for spec in (
+            QuerySpec(kind="triangles", taus=3.0),
+            QuerySpec(kind="pairs-sum", taus=3.0),
+            QuerySpec(kind="pairs-union", taus=3.0, kappa=2),
+            QuerySpec(kind="cliques", taus=3.0),
+        ):
+            plan = plan_query(0, spec, small_tps)
+            index = engine.get_index(small_tps, spec)
+            ck = index.cache_key()
+            assert ck[0] == plan.key.family
+            assert ck[1] == plan.key.fingerprint == small_tps.fingerprint()
+            assert ck[2] == plan.key.epsilon
+            assert ck[3] == plan.key.backend
+            assert tuple(ck[4:]) == plan.key.extra
+
+    def test_fingerprint_tracks_content_not_identity(self):
+        a, b = random_tps(n=25, seed=3), random_tps(n=25, seed=3)
+        c = random_tps(n=25, seed=4)
+        assert a.fingerprint() == b.fingerprint() != c.fingerprint()
+        linf = random_tps(n=25, seed=3, metric="linf")
+        assert linf.fingerprint() != a.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# IndexCache
+# ----------------------------------------------------------------------
+class TestIndexCache:
+    KEY = IndexKey("f", "fp", 0.5, "cover-tree")
+
+    def test_hit_miss_accounting(self):
+        cache = IndexCache()
+        obj, hit = cache.get_or_build(self.KEY, lambda: object())
+        assert not hit and cache.stats.misses == 1 and cache.stats.builds == 1
+        again, hit = cache.get_or_build(self.KEY, lambda: object())
+        assert hit and again is obj and cache.stats.hits == 1
+
+    def test_failed_build_is_not_cached(self):
+        cache = IndexCache()
+
+        def boom():
+            raise RuntimeError("nope")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_build(self.KEY, boom)
+        assert self.KEY not in cache
+        obj, hit = cache.get_or_build(self.KEY, lambda: "ok")
+        assert obj == "ok" and not hit
+
+    def test_lru_eviction(self):
+        cache = IndexCache(max_entries=2)
+        keys = [IndexKey("f", str(i), 0.5, "b") for i in range(3)]
+        for k in keys:
+            cache.get_or_build(k, lambda: object())
+        assert len(cache) == 2
+        assert keys[0] not in cache and keys[2] in cache
+        assert cache.stats.evictions == 1
+
+    def test_single_flight_under_contention(self):
+        cache = IndexCache()
+        builds = []
+        gate = threading.Event()
+
+        def slow_build():
+            gate.wait(timeout=5)
+            builds.append(1)
+            return object()
+
+        results = [None] * 8
+
+        def worker(i):
+            results[i] = cache.get_or_build(self.KEY, slow_build)[0]
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        gate.set()
+        for t in threads:
+            t.join()
+        assert len(builds) == 1
+        assert all(r is results[0] for r in results)
+        assert cache.stats.builds == 1 and cache.stats.hits == 7
+
+
+# ----------------------------------------------------------------------
+# QueryEngine end-to-end
+# ----------------------------------------------------------------------
+def _mixed_specs():
+    """≥10 mixed queries over one dataset (4 distinct indexes)."""
+    return [
+        QuerySpec(kind="triangles", taus=3.0),
+        QuerySpec(kind="triangles", taus=5.0),
+        QuerySpec(kind="triangles", taus=(2.0, 4.0, 6.0)),
+        QuerySpec(kind="pairs-sum", taus=4.0),
+        QuerySpec(kind="pairs-sum", taus=6.0),
+        QuerySpec(kind="pairs-union", taus=4.0, kappa=2),
+        QuerySpec(kind="pairs-union", taus=4.0, kappa=3),
+        QuerySpec(kind="cliques", taus=3.0, m=3),
+        QuerySpec(kind="cliques", taus=4.0, m=4),
+        QuerySpec(kind="stars", taus=4.0, m=3),
+        QuerySpec(kind="paths", taus=4.0, m=3),
+    ]
+
+
+class TestQueryEngine:
+    def test_batch_builds_each_distinct_index_once_and_matches_api(self, medium_tps):
+        """The ISSUE 1 acceptance criterion."""
+        specs = _mixed_specs()
+        assert len(specs) >= 10
+        engine = QueryEngine()
+        batch = engine.run_batch(medium_tps, specs)
+
+        # Each distinct index was built exactly once, asserted via stats.
+        assert batch.distinct_indexes == 4
+        assert engine.stats.builds == 4
+        assert engine.stats.misses == 4
+        assert engine.stats.hits == len(specs) - 4
+
+        # Results are identical to per-call api.py invocations.
+        tps = medium_tps
+        expect = {
+            0: find_durable_triangles(tps, 3.0),
+            1: find_durable_triangles(tps, 5.0),
+            3: find_sum_durable_pairs(tps, 4.0),
+            4: find_sum_durable_pairs(tps, 6.0),
+            5: find_union_durable_pairs(tps, 4.0, kappa=2),
+            6: find_union_durable_pairs(tps, 4.0, kappa=3),
+            7: find_durable_cliques(tps, 3, 3.0),
+            8: find_durable_cliques(tps, 4, 4.0),
+        }
+        for i, records in expect.items():
+            assert [r.key for r in batch[i].records] == [r.key for r in records], i
+        for tau in (2.0, 4.0, 6.0):
+            assert [r.key for r in batch[2].records_by_tau[tau]] == [
+                r.key for r in find_durable_triangles(tps, tau)
+            ]
+
+    def test_tau_sweep_equivalence(self, small_tps):
+        engine = QueryEngine()
+        taus = (1.0, 3.0, 5.0, 9.0)
+        result = engine.run(small_tps, QuerySpec(kind="triangles", taus=taus))
+        for tau in taus:
+            per_call = find_durable_triangles(small_tps, tau)
+            assert [r.key for r in result.records_by_tau[tau]] == [
+                r.key for r in per_call
+            ]
+
+    def test_concurrent_batch_is_deterministic(self, medium_tps):
+        specs = _mixed_specs()
+        runs = []
+        for parallel in (True, True, False):
+            engine = QueryEngine(max_workers=4)
+            batch = engine.run_batch(medium_tps, specs, parallel=parallel)
+            runs.append(
+                [
+                    [(tau, tuple(r.key for r in recs))
+                     for tau, recs in res.records_by_tau.items()]
+                    for res in batch
+                ]
+            )
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_dict_specs_accepted(self, small_tps):
+        engine = QueryEngine()
+        batch = engine.run_batch(
+            small_tps,
+            [{"kind": "triangles", "tau": 3.0}, {"kind": "pairs-sum", "tau": 3.0}],
+        )
+        assert len(batch) == 2
+        assert batch[0].records == [
+            r for r in find_durable_triangles(small_tps, 3.0)
+        ]
+
+    def test_results_order_matches_submission_order(self, small_tps):
+        engine = QueryEngine(max_workers=4)
+        specs = _mixed_specs()
+        batch = engine.run_batch(small_tps, specs)
+        assert [r.spec for r in batch] == specs
+
+    def test_cache_shared_across_batches(self, small_tps):
+        engine = QueryEngine()
+        engine.run_batch(small_tps, [QuerySpec(kind="triangles", taus=3.0)])
+        batch = engine.run_batch(small_tps, [QuerySpec(kind="triangles", taus=6.0)])
+        assert batch[0].cache_hit
+        assert engine.stats.builds == 1
+
+    def test_batch_cache_stats_are_per_batch(self, small_tps):
+        engine = QueryEngine()
+        first = engine.run_batch(small_tps, [QuerySpec(kind="triangles", taus=3.0)])
+        second = engine.run_batch(small_tps, [QuerySpec(kind="triangles", taus=6.0)])
+        assert first.cache_stats["builds"] == 1
+        # The second batch built nothing; cumulative figures stay on
+        # engine.stats.
+        assert second.cache_stats["builds"] == 0
+        assert second.cache_stats["hits"] == 1
+        assert engine.stats.builds == 1
+
+    def test_reset_clears_cache_and_stats(self, small_tps):
+        engine = QueryEngine()
+        engine.run(small_tps, QuerySpec(kind="triangles", taus=3.0))
+        engine.reset()
+        assert engine.stats.requests == 0
+        result = engine.run(small_tps, QuerySpec(kind="triangles", taus=3.0))
+        assert not result.cache_hit
+
+    def test_batch_result_serialises(self, small_tps):
+        import json
+
+        engine = QueryEngine()
+        batch = engine.run_batch(
+            small_tps,
+            [
+                QuerySpec(kind="triangles", taus=(2.0, 4.0)),
+                QuerySpec(kind="pairs-union", taus=3.0, kappa=2),
+                QuerySpec(kind="stars", taus=3.0),
+            ],
+        )
+        payload = json.loads(json.dumps(batch.to_dict()))
+        assert len(payload["queries"]) == 3
+        sweep = payload["queries"][0]["results"]
+        assert [e["tau"] for e in sweep] == [2.0, 4.0]
+        assert all("records" in e for e in sweep)
+        lean = batch.to_dict(include_records=False)
+        assert all(
+            "records" not in e for q in lean["queries"] for e in q["results"]
+        )

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import TemporalPointSet, ValidationError
-from repro.baselines import brute_force_triangle_keys, brute_force_triangles
+from repro.baselines import brute_force_triangle_keys
 from repro.baselines.brute_incremental import brute_activation_threshold, brute_delta_keys
 from repro.core.incremental import IncrementalTriangleSession
 from repro.core.linf import LinfDurableRange, LinfTriangleIndex

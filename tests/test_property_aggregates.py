@@ -1,7 +1,6 @@
 """Hypothesis property tests for the aggregate-pair solvers (Section 5)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import SumPairIndex, TemporalPointSet, UnionPairIndex
