@@ -1,0 +1,265 @@
+#!/usr/bin/env python3
+"""Closed-loop load driver for the serving front end → ``BENCH_serve.json``.
+
+Boots an in-process server (ephemeral port), registers **two datasets
+on separate shards**, then runs three phases:
+
+1. **warmup** — one batch per dataset so every index the load phase
+   needs is built (the steady-state serving regime the paper's
+   preprocess-once economics predict);
+2. **load** — closed-loop: ``--clients`` worker threads per dataset,
+   each issuing ``--requests`` streamed query batches back-to-back over
+   plain ``http.client``; per-request wall latencies are recorded;
+3. **overload** — the shard's admission queue is saturated and a burst
+   of requests is fired to demonstrate bounded-queue 429 rejection.
+
+The emitted JSON carries latency percentiles, throughput, per-shard
+cache statistics from ``GET /stats``, and the overload counts; CI
+uploads it next to ``BENCH_smoke.json`` so the serving-path trajectory
+accumulates run over run.  Exit code is non-zero if any phase misbehaves
+(failed query, missing rejection, unclean shutdown), which doubles as
+the CI serve smoke.
+
+Usage::
+
+    python benchmarks/bench_serve.py [--n 300] [--clients 4] [--requests 8]
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import platform
+import statistics
+import sys
+import threading
+import time
+
+from repro.serve import start_server_thread
+
+DATASETS = {
+    "social": {"workload": "social", "n": None, "seed": 7},
+    "coauthor": {"workload": "coauthor", "n": None, "seed": 3},
+}
+
+#: One mixed batch per request: a τ-sweep plus pair aggregates — all
+#: cache hits after warmup, which is the serving regime under test.
+QUERIES = {
+    "social": [
+        {"kind": "triangles", "taus": [1.5, 2.0, 3.0], "label": "sweep"},
+        {"kind": "pairs-sum", "tau": 2.0},
+        {"kind": "cliques", "tau": 2.0, "m": 3},
+    ],
+    "coauthor": [
+        {"kind": "triangles", "taus": [15.0, 25.0], "label": "sweep"},
+        {"kind": "pairs-union", "tau": 15.0, "kappa": 2},
+    ],
+}
+
+
+def _request(host, port, method, path, body=None, timeout=60):
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request(
+            method,
+            path,
+            body=json.dumps(body) if body is not None else None,
+            headers={"Content-Type": "application/json"},
+        )
+        resp = conn.getresponse()
+        return resp.status, resp.read()
+    finally:
+        conn.close()
+
+
+def _query_once(handle, dataset, include_records=False):
+    t0 = time.perf_counter()
+    status, data = _request(
+        handle.host,
+        handle.port,
+        "POST",
+        "/query",
+        {
+            "dataset": dataset,
+            "queries": QUERIES[dataset],
+            "include_records": include_records,
+        },
+    )
+    latency = time.perf_counter() - t0
+    if status != 200:
+        return status, latency, None
+    last = json.loads(data.decode().strip().rsplit("\n", 1)[-1])
+    return status, latency, last
+
+
+def _percentile(sorted_values, q):
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[idx]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=300, help="points per dataset")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="closed-loop workers per dataset")
+    parser.add_argument("--requests", type=int, default=8,
+                        help="requests per worker")
+    parser.add_argument("--queue-limit", type=int, default=16,
+                        help="per-shard admission bound")
+    parser.add_argument("--out", default="BENCH_serve.json")
+    args = parser.parse_args(argv)
+
+    failures = []
+    handle = start_server_thread(queue_limit=args.queue_limit)
+    try:
+        # -- register two datasets, one shard each --------------------
+        for name, spec in DATASETS.items():
+            spec = dict(spec, n=args.n)
+            status, data = _request(
+                handle.host, handle.port, "POST", "/datasets",
+                {"name": name, "dataset": spec},
+            )
+            if status != 201:
+                failures.append(f"register {name}: HTTP {status} {data!r}")
+
+        # -- warmup: build every index the load phase will hit --------
+        build_seconds = {}
+        for name in DATASETS:
+            t0 = time.perf_counter()
+            status, _latency, end = _query_once(handle, name)
+            if status != 200 or end is None or not end.get("ok"):
+                failures.append(f"warmup {name}: HTTP {status}, end={end}")
+                continue
+            build_seconds[name] = time.perf_counter() - t0
+
+        # -- closed-loop load over both shards concurrently -----------
+        latencies = {name: [] for name in DATASETS}
+        errors = {name: 0 for name in DATASETS}
+
+        def worker(name):
+            for _ in range(args.requests):
+                status, latency, end = _query_once(handle, name)
+                if status == 200 and end is not None and end.get("ok"):
+                    latencies[name].append(latency)
+                else:
+                    errors[name] += 1
+
+        threads = [
+            threading.Thread(target=worker, args=(name,))
+            for name in DATASETS
+            for _ in range(args.clients)
+        ]
+        t_load = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        load_wall = time.perf_counter() - t_load
+
+        total_requests = sum(len(v) for v in latencies.values())
+        if any(errors.values()):
+            failures.append(f"load-phase errors: {errors}")
+
+        # -- overload: prove the admission bound rejects, not buffers -
+        shard = handle.app.registry.get("social")
+        held = shard.admission.limit
+        rejected = 0
+        if not shard.admission.try_acquire(held):
+            failures.append("could not saturate the admission queue")
+        else:
+            try:
+                for _ in range(5):
+                    status, _latency, _end = _query_once(handle, "social")
+                    if status == 429:
+                        rejected += 1
+            finally:
+                shard.admission.release(held)
+        if rejected != 5:
+            failures.append(f"expected 5 overload rejections, saw {rejected}")
+        status, _latency, end = _query_once(handle, "social")
+        if status != 200:
+            failures.append(f"post-overload query failed: HTTP {status}")
+
+        # -- per-shard statistics -------------------------------------
+        status, data = _request(handle.host, handle.port, "GET", "/stats")
+        stats = json.loads(data) if status == 200 else {}
+        shards = stats.get("shards", {})
+        if set(shards) != set(DATASETS):
+            failures.append(f"expected shards {set(DATASETS)}, got {set(shards)}")
+
+        per_dataset = {}
+        for name, values in latencies.items():
+            values = sorted(values)
+            per_dataset[name] = {
+                "requests": len(values),
+                "errors": errors[name],
+                "warmup_seconds": build_seconds.get(name),
+                "latency_ms": {
+                    "mean": statistics.fmean(values) * 1e3 if values else 0.0,
+                    "p50": _percentile(values, 0.50) * 1e3,
+                    "p90": _percentile(values, 0.90) * 1e3,
+                    "p99": _percentile(values, 0.99) * 1e3,
+                    "max": values[-1] * 1e3 if values else 0.0,
+                },
+                "shard": shards.get(name, {}),
+            }
+
+        payload = {
+            "bench": "serve",
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "config": {
+                "n": args.n,
+                "clients_per_dataset": args.clients,
+                "requests_per_client": args.requests,
+                "queue_limit": args.queue_limit,
+            },
+            "load": {
+                "wall_seconds": load_wall,
+                "total_requests": total_requests,
+                "throughput_rps": total_requests / load_wall if load_wall else 0.0,
+            },
+            "overload": {
+                "burst": 5,
+                "rejected_429": rejected,
+            },
+            "datasets": per_dataset,
+            "failures": failures,
+        }
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+
+        for name, entry in per_dataset.items():
+            lat = entry["latency_ms"]
+            cache = entry["shard"].get("cache", {})
+            print(
+                f"{name:10s} {entry['requests']:4d} req  "
+                f"p50 {lat['p50']:6.1f} ms  p99 {lat['p99']:6.1f} ms  "
+                f"cache hits {cache.get('hits', '?')} "
+                f"builds {cache.get('builds', '?')}"
+            )
+        print(
+            f"serve bench: {total_requests} requests in {load_wall:.2f}s "
+            f"({payload['load']['throughput_rps']:.1f} req/s), "
+            f"{rejected}/5 overload rejections -> {args.out}"
+        )
+    finally:
+        try:
+            handle.stop()
+        except Exception as exc:  # noqa: BLE001
+            failures.append(f"unclean shutdown: {exc}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("clean shutdown")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,13 @@ def main(argv=None) -> int:
     t0 = time.perf_counter()
     batch = engine.run_batch(tps, specs)
     wall = time.perf_counter() - t0
+    if not batch.ok:
+        # run_batch isolates faults per query; the smoke must still fail
+        # CI loudly when any of them broke.
+        for r in batch:
+            if not r.ok:
+                print(f"FAIL {r.spec.label}: {r.error}", file=sys.stderr)
+        return 1
 
     payload = {
         "bench": "smoke",

@@ -39,6 +39,8 @@ def run_engine_batch() -> None:
         ],
     )
 
+    assert batch.ok, [r.error for r in batch if not r.ok]
+
     print(f"\n{'label':>10} {'kind':>12} {'count':>6}  index")
     for result in batch:
         source = "cache hit" if result.cache_hit else (

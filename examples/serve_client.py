@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Talk to the serving front end from plain stdlib ``http.client``.
+
+Registers a dataset, streams a durable-pattern query batch line by
+line (NDJSON), and reads the per-shard cache statistics — the complete
+client lifecycle of :mod:`repro.serve`.  If no server is listening on
+``--host``/``--port``, the example boots one in-process so it is
+self-contained:
+
+    python examples/serve_client.py
+    # ...or against a server you started yourself:
+    python -m repro serve --port 8765 &
+    python examples/serve_client.py --port 8765
+"""
+
+import argparse
+import http.client
+import json
+
+
+def request(host, port, method, path, body=None, timeout=30):
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request(
+            method,
+            path,
+            body=json.dumps(body) if body is not None else None,
+            headers={"Content-Type": "application/json"},
+        )
+        resp = conn.getresponse()
+        return resp.status, resp.read()
+    finally:
+        conn.close()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8765)
+    args = parser.parse_args()
+
+    host, port, handle = args.host, args.port, None
+    try:
+        request(host, port, "GET", "/health", timeout=2)
+    except OSError:
+        print(f"no server on {host}:{port}; booting one in-process")
+        from repro.serve import start_server_thread
+
+        handle = start_server_thread()
+        host, port = handle.host, handle.port
+
+    try:
+        # -- register a dataset (its own shard: cache + workers + queue)
+        status, data = request(
+            host, port, "POST", "/datasets",
+            {"name": "forum", "dataset": {"workload": "social", "n": 300, "seed": 7},
+             "replace": True},
+        )
+        print(f"POST /datasets -> {status}: {data.decode().strip()}")
+
+        # -- stream a mixed batch: results arrive one NDJSON line at a
+        #    time, per τ, so nothing is buffered server-side.
+        status, data = request(
+            host, port, "POST", "/query",
+            {
+                "dataset": "forum",
+                "queries": [
+                    {"kind": "triangles", "taus": [1.0, 2.0, 3.0], "label": "sweep"},
+                    {"kind": "pairs-sum", "tau": 3.0},
+                    {"kind": "cliques", "tau": 2.0, "m": 3},
+                ],
+                "include_records": False,
+            },
+        )
+        print(f"POST /query -> {status}")
+        for line in data.decode().strip().split("\n"):
+            doc = json.loads(line)
+            if doc["type"] == "result":
+                state = "ok" if doc["ok"] else f"ERROR {doc['error']}"
+                print(
+                    f"  [{doc['query']}] {doc['kind']:10s} {state}  "
+                    f"counts={doc['counts']}  "
+                    f"{'cache hit' if doc['cache_hit'] else 'built'}"
+                )
+            elif doc["type"] == "batch-end":
+                print(
+                    f"  batch: {doc['queries']} queries, {doc['errors']} errors, "
+                    f"{doc['wall_seconds'] * 1e3:.1f} ms"
+                )
+
+        # -- per-shard statistics
+        status, data = request(host, port, "GET", "/stats")
+        stats = json.loads(data)
+        shard = stats["shards"]["forum"]
+        cache = shard["cache"]
+        print(
+            f"GET /stats -> {status}: shard 'forum' holds "
+            f"{shard['resident_indexes']} indexes, "
+            f"{cache['hits']} hits / {cache['builds']} builds, "
+            f"{shard['in_flight']} in flight (limit {shard['queue_limit']})"
+        )
+    finally:
+        if handle is not None:
+            handle.stop()
+            print("in-process server stopped")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,7 @@ Commands::
     python -m repro pairs-union --tau 12 --kappa 3
     python -m repro stream     --tau 6
     python -m repro batch      queries.json --output results.json
+    python -m repro serve      --port 8765 --dataset 'soc={"workload":"social","n":400}'
 
 ``batch`` runs a whole file of queries through the shared-index
 :class:`~repro.engine.QueryEngine`: every query that can legally reuse
@@ -20,6 +21,15 @@ a preprocessing pass does, and independent queries execute concurrently.
 The file is JSON (or YAML when PyYAML is installed): either a list of
 query objects, or ``{"dataset": {...}, "queries": [...]}`` where the
 dataset spec follows :func:`repro.datasets.workload_from_spec`.
+Faults are isolated per query: a failing query is reported as an ERROR
+line (and in the JSON output) while the rest of the batch completes;
+the exit code is 1 when any query failed, 0 when all succeeded.
+
+``serve`` runs the long-lived asyncio front end (:mod:`repro.serve`):
+datasets are registered — at boot via ``--dataset NAME=SPEC`` or at
+runtime via ``POST /datasets`` — each on its own shard (private index
+cache, thread pool, bounded admission queue), and queries stream back
+as NDJSON over HTTP.
 """
 
 from __future__ import annotations
@@ -109,6 +119,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write full JSON results to PATH ('-' for stdout)")
     p_bat.add_argument("--no-records", action="store_true",
                        help="emit per-tau counts only, not the records")
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the async NDJSON-over-HTTP serving front end",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_srv.add_argument("--port", type=int, default=8765,
+                       help="bind port (0 picks an ephemeral port)")
+    p_srv.add_argument("--queue-limit", type=int, default=64,
+                       help="per-shard bound on in-flight queries "
+                            "(excess requests get 429)")
+    p_srv.add_argument("--max-entries", type=int, default=32,
+                       help="per-shard bound on resident indexes (LRU)")
+    p_srv.add_argument("--workers", type=int, default=None,
+                       help="per-shard thread-pool width")
+    p_srv.add_argument("--dataset", action="append", default=[],
+                       metavar="NAME=SPEC",
+                       help="register a dataset at boot; SPEC is the JSON "
+                            "accepted by POST /datasets (repeatable)")
     return parser
 
 
@@ -183,6 +212,12 @@ def _run_batch(args: argparse.Namespace, out) -> int:
     for i, res in enumerate(batch):
         taus = ",".join(f"{t:g}" for t in res.spec.taus)
         label = f" ({res.spec.label})" if res.spec.label else ""
+        if not res.ok:
+            print(
+                f"[{i}] {res.spec.kind}{label} tau={taus}: ERROR {res.error}",
+                file=out,
+            )
+            continue
         source = "cache" if res.cache_hit else f"build {res.build_seconds * 1e3:.1f} ms"
         print(
             f"[{i}] {res.spec.kind}{label} tau={taus}: {res.count} records "
@@ -190,10 +225,11 @@ def _run_batch(args: argparse.Namespace, out) -> int:
             file=out,
         )
     stats = batch.cache_stats
+    errors = f", {batch.n_errors} FAILED" if batch.n_errors else ""
     print(
         f"batch: {len(batch)} queries, {batch.distinct_indexes} distinct "
         f"indexes, {stats['builds']} built, {stats['hits']} cache hits, "
-        f"{batch.wall_seconds * 1e3:.1f} ms total",
+        f"{batch.wall_seconds * 1e3:.1f} ms total{errors}",
         file=out,
     )
     if args.output:
@@ -211,6 +247,56 @@ def _run_batch(args: argparse.Namespace, out) -> int:
             with open(args.output, "w") as fh:
                 json.dump(payload, fh, indent=2)
             print(f"results written to {args.output}", file=out)
+    # Per-query failures were isolated, not raised: signal them in the
+    # exit code (0 = all good, 1 = partial, 2 = the whole run errored).
+    return 1 if batch.n_errors else 0
+
+
+def _parse_boot_datasets(entries: List[str]) -> Dict[str, Dict[str, Any]]:
+    """Parse repeated ``--dataset NAME=SPECJSON`` flags."""
+    datasets: Dict[str, Dict[str, Any]] = {}
+    for entry in entries:
+        name, sep, spec_text = entry.partition("=")
+        if not sep or not name:
+            raise ValidationError(
+                f"--dataset expects NAME=SPECJSON, got {entry!r}"
+            )
+        try:
+            spec = json.loads(spec_text)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(
+                f"--dataset {name}: invalid JSON spec: {exc}"
+            ) from exc
+        if not isinstance(spec, dict):
+            raise ValidationError(
+                f"--dataset {name}: spec must be a JSON object, got {spec!r}"
+            )
+        datasets[name] = spec
+    return datasets
+
+
+def _run_serve(args: argparse.Namespace, out) -> int:
+    from .serve import run_server
+
+    def announce(host: str, port: int, app) -> None:
+        names = app.registry.names()
+        print(f"serving on http://{host}:{port}", file=out)
+        print(
+            f"datasets: {', '.join(names) if names else '(none — POST /datasets)'}",
+            file=out,
+        )
+        out.flush()
+
+    run_server(
+        host=args.host,
+        port=args.port,
+        max_entries=args.max_entries,
+        max_workers=args.workers,
+        queue_limit=args.queue_limit,
+        datasets=_parse_boot_datasets(args.dataset),
+        announce=announce,
+    )
+    print("server stopped", file=out)
     return 0
 
 
@@ -228,6 +314,8 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
     try:
         if args.command == "batch":
             return _run_batch(args, out)
+        if args.command == "serve":
+            return _run_serve(args, out)
         tps = load_workload(args)
         print(f"workload: {tps}", file=out)
 

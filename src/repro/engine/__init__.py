@@ -15,8 +15,9 @@ durable-pattern reports; this package makes that operational:
 are all thin layers over this package.
 """
 
-from .cache import CacheStats, IndexCache, IndexKey
+from .cache import CacheOutcome, CacheStats, IndexCache, IndexKey
 from .engine import QueryEngine
+from .executor import execute_plan, execute_plans
 from .planner import QueryPlan, distinct_index_keys, plan_batch, plan_query
 from .results import BatchResult, QueryResult, record_to_dict
 from .spec import KINDS, QuerySpec
@@ -26,11 +27,14 @@ __all__ = [
     "QuerySpec",
     "IndexKey",
     "IndexCache",
+    "CacheOutcome",
     "CacheStats",
     "QueryPlan",
     "plan_query",
     "plan_batch",
     "distinct_index_keys",
+    "execute_plan",
+    "execute_plans",
     "QueryEngine",
     "QueryResult",
     "BatchResult",

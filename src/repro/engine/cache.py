@@ -14,13 +14,14 @@ behaviour.
 
 from __future__ import annotations
 
+import copy
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, NamedTuple, Optional, Tuple
 
-__all__ = ["IndexKey", "CacheStats", "IndexCache"]
+__all__ = ["IndexKey", "CacheOutcome", "CacheStats", "IndexCache"]
 
 
 class IndexKey(NamedTuple):
@@ -38,19 +39,38 @@ class IndexKey(NamedTuple):
     extra: Tuple[Any, ...] = ()
 
 
+class CacheOutcome(NamedTuple):
+    """What :meth:`IndexCache.get_or_build` hands back for one request.
+
+    ``build_seconds`` is the wall time of the flight that produced
+    ``index`` — carried on the outcome itself so callers never have to
+    look the entry up again (it may already be LRU-evicted by then).
+    """
+
+    index: Any
+    hit: bool
+    build_seconds: float
+
+
 @dataclass
 class CacheStats:
-    """Mutable hit/miss accounting for one cache instance."""
+    """Mutable hit/miss accounting for one cache instance.
+
+    ``failed_waits`` counts requests that joined an in-flight build
+    which subsequently failed: they are neither hits (no index was
+    served) nor misses (they triggered no build of their own).
+    """
 
     hits: int = 0
     misses: int = 0
     builds: int = 0
     evictions: int = 0
+    failed_waits: int = 0
     build_seconds: float = 0.0
 
     @property
     def requests(self) -> int:
-        return self.hits + self.misses
+        return self.hits + self.misses + self.failed_waits
 
     @property
     def hit_rate(self) -> float:
@@ -63,6 +83,7 @@ class CacheStats:
             "misses": self.misses,
             "builds": self.builds,
             "evictions": self.evictions,
+            "failed_waits": self.failed_waits,
             "build_seconds": self.build_seconds,
             "hit_rate": self.hit_rate,
         }
@@ -73,6 +94,7 @@ class CacheStats:
             misses=self.misses,
             builds=self.builds,
             evictions=self.evictions,
+            failed_waits=self.failed_waits,
             build_seconds=self.build_seconds,
         )
 
@@ -83,6 +105,7 @@ class CacheStats:
             misses=self.misses - earlier.misses,
             builds=self.builds - earlier.builds,
             evictions=self.evictions - earlier.evictions,
+            failed_waits=self.failed_waits - earlier.failed_waits,
             build_seconds=self.build_seconds - earlier.build_seconds,
         )
 
@@ -95,6 +118,29 @@ class _Entry:
     index: Any = None
     error: Optional[BaseException] = None
     build_seconds: float = 0.0
+
+
+def _waiter_copy(exc: BaseException) -> BaseException:
+    """A fresh exception for one waiter of a failed flight.
+
+    Re-raising the owner's instance from several threads makes them all
+    race to mutate its ``__traceback__``, splicing unrelated stacks into
+    each other's reports.  Each waiter therefore raises its own shallow
+    copy, chained (``__cause__``) to the original so the build-site
+    traceback is still printed once, unmangled.
+    """
+    try:
+        clone = copy.copy(exc)
+        # A copy that is the same object (e.g. an exception overriding
+        # __copy__ to return self) would reintroduce the shared-instance
+        # race; fall through to the wrapper in that case.
+        if clone is exc:
+            raise TypeError("copy returned the original instance")
+    except Exception:
+        clone = RuntimeError(f"index build failed: {type(exc).__name__}: {exc}")
+    clone.__cause__ = exc
+    clone.__traceback__ = None
+    return clone
 
 
 class IndexCache:
@@ -118,17 +164,26 @@ class IndexCache:
     # ------------------------------------------------------------------
     def get_or_build(
         self, key: IndexKey, builder: Callable[[], Any]
-    ) -> Tuple[Any, bool]:
-        """Return ``(index, was_hit)``, building at most once per key.
+    ) -> CacheOutcome:
+        """Return a :class:`CacheOutcome`, building at most once per key.
 
-        A failed build is not cached: the exception propagates to every
-        waiter of that flight and the next request retries.
+        A failed build is not cached: the next request retries.  The
+        owner of the failed flight re-raises the original exception;
+        every waiter that joined the flight raises its own chained copy
+        (see :func:`_waiter_copy`) and is counted under
+        ``stats.failed_waits`` rather than as a hit.
         """
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
-                self._stats.hits += 1
+                if entry.ready.is_set():
+                    # Completed entries in the table are always successes
+                    # (failed flights are dropped before ready is set).
+                    self._stats.hits += 1
+                    return CacheOutcome(entry.index, True, entry.build_seconds)
+                # In-flight: whether this is a hit isn't known until the
+                # build resolves — account for it after the wait.
                 owner = False
             else:
                 entry = _Entry()
@@ -154,12 +209,16 @@ class IndexCache:
                 self._stats.build_seconds += entry.build_seconds
                 self._evict_locked()
             entry.ready.set()
-            return entry.index, False
+            return CacheOutcome(entry.index, False, entry.build_seconds)
 
         entry.ready.wait()
         if entry.error is not None:
-            raise entry.error
-        return entry.index, True
+            with self._lock:
+                self._stats.failed_waits += 1
+            raise _waiter_copy(entry.error)
+        with self._lock:
+            self._stats.hits += 1
+        return CacheOutcome(entry.index, True, entry.build_seconds)
 
     def _evict_locked(self) -> None:
         if self.max_entries is None:

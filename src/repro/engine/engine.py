@@ -77,19 +77,33 @@ class QueryEngine:
         tps: TemporalPointSet,
         specs: Iterable[SpecLike],
         parallel: bool = True,
+        raise_on_error: bool = False,
     ) -> BatchResult:
         """Execute a batch of queries over one dataset.
 
         Results come back in submission order; every distinct index is
         built at most once (across this call *and* any earlier call that
         populated the cache).
+
+        Faults are isolated per query: a spec whose builder or runner
+        raises yields a :class:`~repro.engine.results.QueryResult` with
+        ``ok=False`` and its ``error`` set, while every other query's
+        result is returned intact (the pre-fix engine threw the whole
+        batch away).  Pass ``raise_on_error=True`` to restore the old
+        raise-through contract.  Malformed specs still raise
+        :class:`~repro.errors.ValidationError` at planning time, before
+        anything executes.
         """
         coerced = [_coerce_spec(s) for s in specs]
         plans = plan_batch(coerced, tps)
         before = self.cache.stats.snapshot()
         t0 = time.perf_counter()
         results = execute_plans(
-            plans, self.cache, max_workers=self.max_workers, parallel=parallel
+            plans,
+            self.cache,
+            max_workers=self.max_workers,
+            parallel=parallel,
+            raise_on_error=raise_on_error,
         )
         wall = time.perf_counter() - t0
         return BatchResult(
@@ -102,12 +116,16 @@ class QueryEngine:
         )
 
     def run(self, tps: TemporalPointSet, spec: SpecLike, **overrides: Any) -> QueryResult:
-        """Execute a single query (sequentially, same cache)."""
+        """Execute a single query (sequentially, same cache).
+
+        A failing query raises — single-query callers (``repro.api``)
+        keep the historical exception contract.
+        """
         coerced = _coerce_spec(spec)
         if overrides:
             coerced = QuerySpec(**{**coerced.__dict__, **overrides})
         plan = plan_query(0, coerced, tps)
-        return execute_plans([plan], self.cache, parallel=False)[0]
+        return execute_plans([plan], self.cache, parallel=False, raise_on_error=True)[0]
 
     def get_index(self, tps: TemporalPointSet, spec: SpecLike) -> Any:
         """Build (or fetch) the shared index a spec resolves to.
@@ -117,8 +135,7 @@ class QueryEngine:
         keeping its construction on the engine's cached path.
         """
         plan = plan_query(0, _coerce_spec(spec), tps)
-        index, _ = self.cache.get_or_build(plan.key, plan.builder)
-        return index
+        return self.cache.get_or_build(plan.key, plan.builder).index
 
     # ------------------------------------------------------------------
     @property

@@ -1,4 +1,4 @@
-"""Concurrent plan execution with per-query timing.
+"""Concurrent plan execution with per-query timing and fault isolation.
 
 Plans run on a :class:`~concurrent.futures.ThreadPoolExecutor`; index
 builds are de-duplicated by the cache's single-flight discipline, so a
@@ -8,6 +8,14 @@ many workers race for it.  Query paths in this library are read-only
 against one shared index are safe and the result of a batch is
 deterministic: results come back in submission order, and each query's
 records are exactly what a sequential run would produce.
+
+A query whose builder or runner raises does not destroy the rest of the
+batch: with ``raise_on_error=False`` the failure is captured into its
+own :class:`~repro.engine.results.QueryResult` (``ok=False``, ``error``
+set) and every other plan's result is returned intact.  The default
+``raise_on_error=True`` preserves the historical contract — the first
+failing plan's exception propagates — which is what the one-call
+``repro.api`` helpers rely on.
 
 Threads — not processes — are the right pool here: a process pool would
 have to pickle a full index per worker, forfeiting the shared build
@@ -20,13 +28,13 @@ import os
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple
 
 from .cache import IndexCache
 from .planner import QueryPlan
 from .results import QueryResult
 
-__all__ = ["execute_plans", "default_worker_count"]
+__all__ = ["execute_plan", "execute_plans", "default_worker_count"]
 
 
 def default_worker_count(n_plans: int) -> int:
@@ -35,21 +43,60 @@ def default_worker_count(n_plans: int) -> int:
     return max(1, min(n_plans, cpus))
 
 
-def _execute_one(plan: QueryPlan, cache: IndexCache) -> QueryResult:
-    index, hit = cache.get_or_build(plan.key, plan.builder)
-    records_by_tau: "OrderedDict[float, List[Any]]" = OrderedDict()
+def _execute_one(
+    plan: QueryPlan, cache: IndexCache
+) -> Tuple[QueryResult, Optional[BaseException]]:
+    """Run one plan, capturing any failure into the result envelope.
+
+    Returns ``(result, exception)`` — the exception object is kept
+    alongside the error result so ``raise_on_error=True`` callers can
+    re-raise the original, not a stringified stand-in.
+    """
     t0 = time.perf_counter()
-    for tau in plan.spec.taus:
-        records_by_tau[tau] = plan.runner(index, tau)
-    query_seconds = time.perf_counter() - t0
-    return QueryResult(
-        spec=plan.spec,
-        key=plan.key,
-        records_by_tau=records_by_tau,
-        cache_hit=hit,
-        build_seconds=0.0 if hit else cache.build_seconds_for(plan.key),
-        query_seconds=query_seconds,
+    try:
+        outcome = cache.get_or_build(plan.key, plan.builder)
+        records_by_tau: "OrderedDict[float, List[Any]]" = OrderedDict()
+        t_query = time.perf_counter()
+        for tau in plan.spec.taus:
+            records_by_tau[tau] = plan.runner(outcome.index, tau)
+        query_seconds = time.perf_counter() - t_query
+    except Exception as exc:
+        return (
+            QueryResult(
+                spec=plan.spec,
+                key=plan.key,
+                records_by_tau=OrderedDict(),
+                cache_hit=False,
+                build_seconds=0.0,
+                query_seconds=time.perf_counter() - t0,
+                error=f"{type(exc).__name__}: {exc}",
+            ),
+            exc,
+        )
+    return (
+        QueryResult(
+            spec=plan.spec,
+            key=plan.key,
+            records_by_tau=records_by_tau,
+            cache_hit=outcome.hit,
+            # The outcome carries its flight's own build time, so this
+            # stays correct even if the entry was LRU-evicted by a later
+            # build before we got here.
+            build_seconds=0.0 if outcome.hit else outcome.build_seconds,
+            query_seconds=query_seconds,
+        ),
+        None,
     )
+
+
+def execute_plan(
+    plan: QueryPlan, cache: IndexCache, raise_on_error: bool = True
+) -> QueryResult:
+    """Run a single plan; capture failures when ``raise_on_error`` is off."""
+    result, exc = _execute_one(plan, cache)
+    if exc is not None and raise_on_error:
+        raise exc
+    return result
 
 
 def execute_plans(
@@ -57,13 +104,27 @@ def execute_plans(
     cache: IndexCache,
     max_workers: Optional[int] = None,
     parallel: bool = True,
+    raise_on_error: bool = True,
 ) -> List[QueryResult]:
-    """Run every plan; results are returned in submission order."""
+    """Run every plan; results are returned in submission order.
+
+    With ``raise_on_error=False`` a failing plan yields an error-carrying
+    :class:`QueryResult` (``ok=False``) and never disturbs its
+    neighbours.  With the default ``True``, every plan still runs to
+    completion (the pool is drained) but the first failure — in
+    submission order — is re-raised afterwards.
+    """
     if not plans:
         return []
     workers = max_workers if max_workers is not None else default_worker_count(len(plans))
     if not parallel or workers <= 1 or len(plans) == 1:
-        return [_execute_one(p, cache) for p in plans]
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(_execute_one, p, cache) for p in plans]
-        return [f.result() for f in futures]
+        pairs = [_execute_one(p, cache) for p in plans]
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_execute_one, p, cache) for p in plans]
+            pairs = [f.result() for f in futures]
+    if raise_on_error:
+        for _, exc in pairs:
+            if exc is not None:
+                raise exc
+    return [result for result, _ in pairs]

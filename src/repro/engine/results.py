@@ -10,8 +10,8 @@ the JSON shape emitted by ``python -m repro batch``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..types import PairRecord, PatternRecord, TriangleRecord
 from .cache import IndexKey
@@ -43,7 +43,14 @@ def record_to_dict(record: Any) -> Dict[str, Any]:
 
 @dataclass(frozen=True)
 class QueryResult:
-    """Outcome of one :class:`~repro.engine.spec.QuerySpec`."""
+    """Outcome of one :class:`~repro.engine.spec.QuerySpec`.
+
+    ``error`` is ``None`` for a successful query; a failed query (its
+    builder or runner raised and the batch ran with
+    ``raise_on_error=False``) carries ``"ExceptionType: message"`` here
+    and an empty ``records_by_tau`` — the rest of the batch is
+    unaffected.
+    """
 
     spec: QuerySpec
     key: IndexKey
@@ -51,6 +58,12 @@ class QueryResult:
     cache_hit: bool
     build_seconds: float
     query_seconds: float
+    error: Optional[str] = field(default=None)
+
+    @property
+    def ok(self) -> bool:
+        """Whether this query produced results (no captured failure)."""
+        return self.error is None
 
     @property
     def records(self) -> List[Any]:
@@ -81,6 +94,8 @@ class QueryResult:
                 "epsilon": self.key.epsilon,
                 "backend": self.key.backend,
             },
+            "ok": self.ok,
+            "error": self.error,
             "cache_hit": self.cache_hit,
             "build_seconds": self.build_seconds,
             "query_seconds": self.query_seconds,
@@ -110,10 +125,22 @@ class BatchResult:
     def __getitem__(self, i: int) -> QueryResult:
         return self.results[i]
 
+    @property
+    def n_errors(self) -> int:
+        """How many queries of this batch failed (``ok=False``)."""
+        return sum(1 for r in self.results if not r.ok)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every query of this batch succeeded."""
+        return self.n_errors == 0
+
     def to_dict(self, include_records: bool = True) -> Dict[str, Any]:
         return {
             "wall_seconds": self.wall_seconds,
             "distinct_indexes": self.distinct_indexes,
+            "ok": self.ok,
+            "errors": self.n_errors,
             "cache": self.cache_stats,
             "queries": [r.to_dict(include_records) for r in self.results],
         }

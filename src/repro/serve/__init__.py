@@ -1,0 +1,48 @@
+"""Async serving front end over a sharded dataset registry (ISSUE 2).
+
+The paper's economics — preprocess once, answer many durability reports
+fast — pay off in a long-lived process that keeps indexes resident and
+serves many callers.  This package is that process, stdlib-only:
+
+* :class:`~repro.serve.registry.DatasetRegistry` — named datasets, one
+  :class:`~repro.engine.cache.IndexCache` + thread pool + admission
+  queue per shard, so a hot dataset cannot evict or starve another's
+  indexes;
+* :mod:`~repro.serve.bridge` — event-loop → thread-pool bridge with
+  all-or-nothing batch admission (full queue ⇒ 429, never unbounded
+  buffering);
+* :mod:`~repro.serve.http` / :mod:`~repro.serve.server` — HTTP/1.1
+  framing and the NDJSON streaming protocol (``POST /datasets``,
+  ``POST /query``, ``GET /stats``, ``POST /shutdown``).
+
+Start one with ``python -m repro serve`` or, in-process,
+:func:`~repro.serve.server.start_server_thread` (the tests' and bench
+driver's fixture).
+"""
+
+from .bridge import AdmissionQueue, OverloadedError, submit_plans
+from .registry import (
+    DEFAULT_MAX_ENTRIES,
+    DEFAULT_QUEUE_LIMIT,
+    DatasetRegistry,
+    DatasetShard,
+    DuplicateDatasetError,
+    UnknownDatasetError,
+)
+from .server import ServeApp, ServerHandle, run_server, start_server_thread
+
+__all__ = [
+    "AdmissionQueue",
+    "OverloadedError",
+    "submit_plans",
+    "DatasetRegistry",
+    "DatasetShard",
+    "DuplicateDatasetError",
+    "UnknownDatasetError",
+    "DEFAULT_MAX_ENTRIES",
+    "DEFAULT_QUEUE_LIMIT",
+    "ServeApp",
+    "ServerHandle",
+    "run_server",
+    "start_server_thread",
+]

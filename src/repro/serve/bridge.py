@@ -1,0 +1,119 @@
+"""Async bridge between the event loop and a shard's thread pool.
+
+The serving loop never runs a solver on the event loop: plan execution
+is pushed onto the shard's :class:`~concurrent.futures.ThreadPoolExecutor`
+via :meth:`loop.run_in_executor`, and admission is bounded — a batch
+that does not fit inside the shard's queue limit is rejected up front
+(the HTTP layer turns that into a 429) instead of queueing without
+bound.  Slots are released by a done-callback on each future, so a
+client that disconnects mid-stream can never leak capacity.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import TYPE_CHECKING, List
+
+from ..engine import QueryPlan, QueryResult
+from ..engine.executor import execute_plan
+from ..errors import ReproError, ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .registry import DatasetShard
+
+__all__ = ["OverloadedError", "AdmissionQueue", "submit_plans"]
+
+
+class OverloadedError(ReproError):
+    """Raised when a shard's admission queue cannot take a batch."""
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class AdmissionQueue:
+    """Bounded counter of queued-plus-running queries for one shard."""
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValidationError(f"admission limit must be >= 1, got {limit!r}")
+        self.limit = limit
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._rejected = 0
+
+    def try_acquire(self, n: int = 1) -> bool:
+        """Reserve ``n`` slots atomically; ``False`` if they don't all fit."""
+        with self._lock:
+            if self._in_flight + n > self.limit:
+                self._rejected += n
+                return False
+            self._in_flight += n
+            return True
+
+    def release(self, n: int = 1) -> None:
+        with self._lock:
+            self._in_flight = max(0, self._in_flight - n)
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    @property
+    def rejected(self) -> int:
+        """Cumulative count of slots denied at admission (telemetry)."""
+        with self._lock:
+            return self._rejected
+
+
+def submit_plans(
+    shard: "DatasetShard", plans: List[QueryPlan]
+) -> "List[asyncio.Future[QueryResult]]":
+    """Admit a batch and schedule every plan on the shard's executor.
+
+    The whole batch is admitted atomically — all-or-nothing — so a
+    half-admitted request can never wedge the queue.  Raises
+    :class:`OverloadedError` when the slots don't fit.  Each returned
+    future releases its admission slot and bumps the shard's counters
+    from a done-callback, whether or not the caller is still around to
+    await it.
+    """
+    n = len(plans)
+    if not shard.admission.try_acquire(n):
+        raise OverloadedError(
+            f"dataset {shard.name!r} is at its admission limit "
+            f"({shard.admission.limit} queries in flight); retry later"
+        )
+    loop = asyncio.get_running_loop()
+    futures: "List[asyncio.Future[QueryResult]]" = []
+    for plan in plans:
+        try:
+            future = loop.run_in_executor(
+                shard.executor, execute_plan, plan, shard.cache, False
+            )
+        except RuntimeError:
+            # Executor already shut down (server stopping): give back the
+            # slots nothing was scheduled for and surface as overload.
+            shard.admission.release(n - len(futures))
+            for f in futures:
+                f.cancel()
+            raise OverloadedError(
+                f"dataset {shard.name!r} is shutting down"
+            ) from None
+        future.add_done_callback(_release_callback(shard))
+        futures.append(future)
+    return futures
+
+
+def _release_callback(shard: "DatasetShard"):
+    def _done(future: "asyncio.Future[QueryResult]") -> None:
+        shard.admission.release(1)
+        if not future.cancelled() and future.exception() is None:
+            shard.record_result(future.result().ok)
+        else:
+            shard.record_result(False)
+
+    return _done

@@ -1,0 +1,174 @@
+"""Minimal HTTP/1.1 framing over asyncio streams (stdlib only).
+
+Just enough protocol for the serving front end: request-line + header
+parsing with hard size limits, ``Content-Length`` bodies, JSON replies,
+and chunked transfer encoding for NDJSON streaming (so a response's
+size never has to be known — or buffered — up front).  Every connection
+carries exactly one request (``Connection: close``), which keeps the
+state machine trivial; the closed-loop bench shows this is nowhere near
+the bottleneck at the scales the solvers serve.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "Request",
+    "ProtocolError",
+    "read_request",
+    "send_json",
+    "start_chunked",
+    "send_chunk",
+    "end_chunked",
+    "STATUS_REASONS",
+]
+
+#: Reason phrases for the statuses the server emits.
+STATUS_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """Malformed or oversized request; carries the HTTP status to send."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """Decode the body as JSON (``{}`` for an empty body)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(400, f"request body is not valid JSON: {exc}") from exc
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request; ``None`` if the peer closed before sending one."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(400, "truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ProtocolError(413, "request head too large") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise ProtocolError(413, "request head too large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(400, f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+    path = target.split("?", 1)[0]
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise ProtocolError(400, "chunked request bodies are not supported")
+    length_header = headers.get("content-length", "0")
+    try:
+        length = int(length_header)
+    except ValueError:
+        raise ProtocolError(400, f"bad Content-Length: {length_header!r}") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise ProtocolError(413, f"body of {length} bytes exceeds the limit")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise ProtocolError(400, "request body shorter than Content-Length") from exc
+    return Request(method=method.upper(), path=path, headers=headers, body=body)
+
+
+def _status_line(status: int) -> bytes:
+    reason = STATUS_REASONS.get(status, "Unknown")
+    return f"HTTP/1.1 {status} {reason}\r\n".encode("latin-1")
+
+
+async def send_json(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: Any,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> None:
+    """Send a complete JSON response (non-streaming endpoints)."""
+    body = (json.dumps(payload) + "\n").encode("utf-8")
+    writer.write(_status_line(status))
+    headers = {
+        "Content-Type": "application/json",
+        "Content-Length": str(len(body)),
+        "Connection": "close",
+        **(extra_headers or {}),
+    }
+    for name, value in headers.items():
+        writer.write(f"{name}: {value}\r\n".encode("latin-1"))
+    writer.write(b"\r\n")
+    writer.write(body)
+    await writer.drain()
+
+
+async def start_chunked(
+    writer: asyncio.StreamWriter, status: int = 200,
+    content_type: str = "application/x-ndjson",
+) -> None:
+    """Open a chunked response; follow with :func:`send_chunk` calls."""
+    writer.write(_status_line(status))
+    writer.write(
+        (
+            f"Content-Type: {content_type}\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+    )
+    await writer.drain()
+
+
+async def send_chunk(writer: asyncio.StreamWriter, payload: Any) -> None:
+    """Send one NDJSON line as one HTTP chunk (flushed immediately)."""
+    line = (json.dumps(payload) + "\n").encode("utf-8")
+    writer.write(f"{len(line):x}\r\n".encode("latin-1") + line + b"\r\n")
+    await writer.drain()
+
+
+async def end_chunked(writer: asyncio.StreamWriter) -> None:
+    """Terminate a chunked response."""
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()

@@ -1,0 +1,244 @@
+"""Sharded dataset registry for the serving front end.
+
+Each registered dataset gets its own :class:`DatasetShard` — a private
+:class:`~repro.engine.cache.IndexCache`, a private
+:class:`~concurrent.futures.ThreadPoolExecutor`, and a bounded
+admission queue.  The isolation is the point: a hot dataset saturating
+its workers or churning its cache cannot evict another dataset's
+indexes or starve its queries, and later horizontal sharding (one
+registry per process) drops in without touching the solvers.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from ..datasets import workload_from_spec
+from ..engine import IndexCache
+from ..errors import ReproError, ValidationError
+from ..types import TemporalPointSet
+from .bridge import AdmissionQueue
+
+__all__ = [
+    "UnknownDatasetError",
+    "DuplicateDatasetError",
+    "DatasetShard",
+    "DatasetRegistry",
+]
+
+#: Default bound on concurrently admitted (queued + running) queries
+#: per shard; requests past the bound are rejected, never buffered.
+DEFAULT_QUEUE_LIMIT = 64
+
+#: Default resident-index bound per shard.  Bounded — unlike the
+#: engine's library default — because a long-lived server must not grow
+#: without limit under a churning query mix.
+DEFAULT_MAX_ENTRIES = 32
+
+
+class UnknownDatasetError(ReproError, KeyError):
+    """Raised when a query names a dataset that was never registered."""
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep it readable
+        return self.args[0] if self.args else ""
+
+
+class DuplicateDatasetError(ValidationError):
+    """Raised when a name is already registered (HTTP maps this to 409)."""
+
+
+def _default_shard_workers() -> int:
+    cpus = os.cpu_count() or 1
+    return max(1, min(4, cpus))
+
+
+class DatasetShard:
+    """One registered dataset plus everything needed to serve it."""
+
+    def __init__(
+        self,
+        name: str,
+        tps: TemporalPointSet,
+        spec: Optional[Mapping[str, Any]] = None,
+        max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+        max_workers: Optional[int] = None,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+    ) -> None:
+        self.name = name
+        self.tps = tps
+        self.spec = dict(spec) if spec is not None else None
+        self.cache = IndexCache(max_entries=max_entries)
+        self.workers = max_workers if max_workers is not None else _default_shard_workers()
+        self.executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix=f"shard-{name}"
+        )
+        self.admission = AdmissionQueue(queue_limit)
+        self.created_at = time.time()
+        self._lock = threading.Lock()
+        self._queries_total = 0
+        self._errors_total = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def record_result(self, ok: bool) -> None:
+        """Bump the served/failed counters for one finished query."""
+        with self._lock:
+            self._queries_total += 1
+            if not ok:
+                self._errors_total += 1
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-ready dataset identity (the ``POST /datasets`` reply)."""
+        return {
+            "name": self.name,
+            "n": self.tps.n,
+            "dim": self.tps.dim,
+            "metric": self.tps.metric.name,
+            "fingerprint": self.tps.fingerprint(),
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-ready serving + cache statistics (the ``GET /stats`` shape)."""
+        with self._lock:
+            queries_total = self._queries_total
+            errors_total = self._errors_total
+        return {
+            "dataset": self.describe(),
+            "cache": self.cache.stats.snapshot().as_dict(),
+            "resident_indexes": len(self.cache),
+            "workers": self.workers,
+            "queue_limit": self.admission.limit,
+            "in_flight": self.admission.in_flight,
+            "rejected": self.admission.rejected,
+            "queries_total": queries_total,
+            "errors_total": errors_total,
+            "uptime_seconds": time.time() - self.created_at,
+        }
+
+    def close(self) -> None:
+        """Shut the shard's executor down (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.executor.shutdown(wait=True, cancel_futures=True)
+
+
+class DatasetRegistry:
+    """Thread-safe name → :class:`DatasetShard` mapping."""
+
+    def __init__(
+        self,
+        max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+        max_workers: Optional[int] = None,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+    ) -> None:
+        if queue_limit < 1:
+            raise ValidationError(f"queue_limit must be >= 1, got {queue_limit!r}")
+        self.default_max_entries = max_entries
+        self.default_max_workers = max_workers
+        self.default_queue_limit = queue_limit
+        self._lock = threading.Lock()
+        self._shards: Dict[str, DatasetShard] = {}
+        #: Names whose registration is materialising right now — reserved
+        #: under the lock so a racing duplicate fails fast instead of
+        #: wasting a full workload build.
+        self._reserved: set = set()
+
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        dataset: Union[TemporalPointSet, Mapping[str, Any]],
+        max_entries: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        queue_limit: Optional[int] = None,
+        replace: bool = False,
+    ) -> DatasetShard:
+        """Materialise (if needed) and register a dataset under ``name``.
+
+        ``dataset`` is either a ready :class:`TemporalPointSet` or a
+        declarative spec for :func:`~repro.datasets.workload_from_spec`
+        (the wire format of ``POST /datasets``).  Registering an
+        existing name raises :class:`DuplicateDatasetError` unless
+        ``replace=True``, in which case the old shard is closed.  The
+        name is reserved before the (possibly slow) workload build, so
+        a duplicate — racing or not — is rejected before any work.
+        """
+        if not isinstance(name, str) or not name or "/" in name or name != name.strip():
+            raise ValidationError(
+                f"dataset name must be a non-empty string without '/', got {name!r}"
+            )
+        with self._lock:
+            if (name in self._shards or name in self._reserved) and not replace:
+                raise DuplicateDatasetError(
+                    f"dataset {name!r} is already registered; pass replace to overwrite"
+                )
+            if name in self._reserved:
+                # replace=True cannot race a concurrent registration of
+                # the same name either: there is one slot to take over.
+                raise DuplicateDatasetError(
+                    f"dataset {name!r} is being registered by another request"
+                )
+            self._reserved.add(name)
+        try:
+            if isinstance(dataset, TemporalPointSet):
+                tps, spec = dataset, None
+            else:
+                tps, spec = workload_from_spec(dataset), dataset
+            shard = DatasetShard(
+                name,
+                tps,
+                spec=spec,
+                max_entries=max_entries if max_entries is not None else self.default_max_entries,
+                max_workers=max_workers if max_workers is not None else self.default_max_workers,
+                queue_limit=queue_limit if queue_limit is not None else self.default_queue_limit,
+            )
+            with self._lock:
+                old = self._shards.get(name)
+                self._shards[name] = shard
+        finally:
+            with self._lock:
+                self._reserved.discard(name)
+        if old is not None:
+            old.close()
+        return shard
+
+    def get(self, name: str) -> DatasetShard:
+        with self._lock:
+            shard = self._shards.get(name)
+        if shard is None:
+            raise UnknownDatasetError(
+                f"unknown dataset {name!r}; registered: {self.names() or '(none)'}"
+            )
+        return shard
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._shards)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._shards)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._shards
+
+    def stats(self) -> Dict[str, Any]:
+        """Per-shard statistics keyed by dataset name."""
+        with self._lock:
+            shards = list(self._shards.values())
+        return {shard.name: shard.stats() for shard in shards}
+
+    def close(self) -> None:
+        """Close every shard (idempotent)."""
+        with self._lock:
+            shards = list(self._shards.values())
+            self._shards.clear()
+        for shard in shards:
+            shard.close()

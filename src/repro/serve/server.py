@@ -1,0 +1,410 @@
+"""The asyncio serving front end: routes, streaming, lifecycle.
+
+:class:`ServeApp` wires the sharded :class:`~repro.serve.registry.
+DatasetRegistry` and the bounded async bridge into an HTTP/NDJSON
+protocol:
+
+* ``GET  /health``   — liveness probe (used by CI to await boot);
+* ``GET  /datasets`` — registered dataset identities;
+* ``POST /datasets`` — register ``{"name": ..., "dataset": {spec}}``;
+* ``POST /query``    — ``{"dataset": ..., "queries": [QuerySpec...]}``,
+  answered as a chunked NDJSON stream: a ``batch-start`` line, then per
+  query its ``records`` lines (one per τ, so a huge τ-sweep is never
+  buffered as one document) and a ``result`` status line, then a
+  ``batch-end`` line with per-batch cache stats;
+* ``GET  /stats``    — per-shard cache/admission statistics;
+* ``POST /shutdown`` — graceful stop (CI smoke asserts a clean exit).
+
+Every query failure is isolated per the engine contract: an erroring
+query emits ``{"type": "result", "ok": false, "error": ...}`` and its
+batch keeps streaming.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import Any, Dict, Mapping, Optional
+
+from ..engine.planner import plan_batch
+from ..engine.results import QueryResult, record_to_dict
+from ..engine.spec import QuerySpec
+from ..errors import ValidationError
+from .bridge import OverloadedError, submit_plans
+from .http import (
+    ProtocolError,
+    Request,
+    end_chunked,
+    read_request,
+    send_chunk,
+    send_json,
+    start_chunked,
+)
+from .registry import (
+    DEFAULT_MAX_ENTRIES,
+    DEFAULT_QUEUE_LIMIT,
+    DatasetRegistry,
+    DuplicateDatasetError,
+    UnknownDatasetError,
+)
+
+__all__ = ["ServeApp", "ServerHandle", "run_server", "start_server_thread"]
+
+
+class ServeApp:
+    """Route requests onto the registry and the async bridge."""
+
+    def __init__(
+        self,
+        registry: Optional[DatasetRegistry] = None,
+        max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+        max_workers: Optional[int] = None,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+    ) -> None:
+        self.registry = registry if registry is not None else DatasetRegistry(
+            max_entries=max_entries,
+            max_workers=max_workers,
+            queue_limit=queue_limit,
+        )
+        self.started_at = time.time()
+        self.requests_total = 0
+        self._shutdown = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One connection, one request (``Connection: close``)."""
+        try:
+            try:
+                request = await read_request(reader)
+            except ProtocolError as exc:
+                await send_json(writer, exc.status, {"error": str(exc)})
+                return
+            if request is None:
+                return
+            self.requests_total += 1
+            try:
+                await self._dispatch(request, writer)
+            except ProtocolError as exc:
+                await send_json(writer, exc.status, {"error": str(exc)})
+            except ValidationError as exc:
+                await send_json(writer, 400, {"error": str(exc)})
+            except UnknownDatasetError as exc:
+                await send_json(writer, 404, {"error": str(exc)})
+            except OverloadedError as exc:
+                await send_json(
+                    writer,
+                    429,
+                    {"error": str(exc), "retry_after": exc.retry_after},
+                    extra_headers={"Retry-After": str(int(exc.retry_after) or 1)},
+                )
+            except Exception as exc:  # noqa: BLE001 - last-resort 500
+                await send_json(
+                    writer, 500, {"error": f"{type(exc).__name__}: {exc}"}
+                )
+        except (ConnectionError, asyncio.TimeoutError):
+            pass  # peer went away; admission slots are freed by callbacks
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.TimeoutError):
+                pass
+
+    async def _dispatch(self, request: Request, writer: asyncio.StreamWriter) -> None:
+        route = (request.method, request.path)
+        if route == ("GET", "/health"):
+            await send_json(writer, 200, {"ok": True, "datasets": len(self.registry)})
+        elif route == ("GET", "/stats"):
+            await send_json(writer, 200, self.stats())
+        elif route == ("GET", "/datasets"):
+            await send_json(
+                writer,
+                200,
+                {
+                    "datasets": [
+                        self.registry.get(name).describe()
+                        for name in self.registry.names()
+                    ]
+                },
+            )
+        elif route == ("POST", "/datasets"):
+            await self._handle_register(request, writer)
+        elif route == ("POST", "/query"):
+            await self._handle_query(request, writer)
+        elif route == ("POST", "/shutdown"):
+            await send_json(writer, 200, {"ok": True, "stopping": True})
+            self._shutdown.set()
+        elif request.path in ("/health", "/stats", "/datasets", "/query", "/shutdown"):
+            raise ProtocolError(405, f"{request.method} not allowed on {request.path}")
+        else:
+            raise ProtocolError(404, f"no route for {request.path!r}")
+
+    # ------------------------------------------------------------------
+    async def _handle_register(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> None:
+        doc = request.json()
+        if not isinstance(doc, Mapping) or "name" not in doc or "dataset" not in doc:
+            raise ProtocolError(
+                400, "register body must be {'name': ..., 'dataset': {spec}}"
+            )
+        name = doc["name"]
+        replace = bool(doc.get("replace", False))
+        loop = asyncio.get_running_loop()
+        # Materialising a workload can be seconds of numpy work — keep it
+        # off the event loop so health checks and queries stay live.  The
+        # registry reserves the name before building, so duplicates (racy
+        # or not) are rejected without wasting a build.
+        try:
+            shard = await loop.run_in_executor(
+                None,
+                lambda: self.registry.register(
+                    name,
+                    doc["dataset"],
+                    max_entries=doc.get("max_entries"),
+                    max_workers=doc.get("max_workers"),
+                    queue_limit=doc.get("queue_limit"),
+                    replace=replace,
+                ),
+            )
+        except DuplicateDatasetError as exc:
+            await send_json(writer, 409, {"error": str(exc)})
+            return
+        await send_json(writer, 201, {"registered": shard.describe()})
+
+    async def _handle_query(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> None:
+        doc = request.json()
+        if not isinstance(doc, Mapping):
+            raise ProtocolError(400, "query body must be a JSON object")
+        queries = doc.get("queries")
+        if isinstance(doc.get("dataset"), Mapping):
+            raise ProtocolError(
+                400,
+                "inline dataset specs are not accepted here; register the "
+                "dataset via POST /datasets and query it by name",
+            )
+        name = doc.get("dataset")
+        if not isinstance(name, str):
+            raise ProtocolError(400, "query body needs a 'dataset' name")
+        if not isinstance(queries, list) or not queries:
+            raise ProtocolError(400, "query body needs a non-empty 'queries' list")
+        include_records = bool(doc.get("include_records", True))
+
+        shard = self.registry.get(name)
+        specs = [QuerySpec.from_dict(q) for q in queries]
+        plans = plan_batch(specs, shard.tps)
+        before = shard.cache.stats.snapshot()
+        futures = submit_plans(shard, plans)  # may raise OverloadedError → 429
+
+        t0 = time.perf_counter()
+        await start_chunked(writer, 200)
+        await send_chunk(
+            writer,
+            {"type": "batch-start", "dataset": name, "queries": len(plans)},
+        )
+        n_errors = 0
+        try:
+            for i, future in enumerate(futures):
+                result = await future
+                if not result.ok:
+                    n_errors += 1
+                for line in _result_lines(i, result, include_records):
+                    await send_chunk(writer, line)
+            await send_chunk(
+                writer,
+                {
+                    "type": "batch-end",
+                    "dataset": name,
+                    "queries": len(plans),
+                    "errors": n_errors,
+                    "ok": n_errors == 0,
+                    "wall_seconds": time.perf_counter() - t0,
+                    "cache": shard.cache.stats.snapshot().since(before).as_dict(),
+                },
+            )
+            await end_chunked(writer)
+        except Exception:
+            # The response status line is already on the wire: a second
+            # one (send_json's 500) would splice a malformed response
+            # into the chunked body.  Whatever went wrong mid-stream —
+            # client hang-up, socket error, a worker torn down by
+            # shutdown — the only sound move is to stop writing; the
+            # truncated stream (no terminal 0-chunk) tells the client
+            # the batch did not finish, and in-flight work still
+            # completes on the shard executor, releasing admission via
+            # the done-callbacks.
+            pass
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "server": {
+                "uptime_seconds": time.time() - self.started_at,
+                "requests_total": self.requests_total,
+                "datasets": len(self.registry),
+            },
+            "shards": self.registry.stats(),
+        }
+
+    async def serve(self, host: str, port: int) -> "asyncio.AbstractServer":
+        return await asyncio.start_server(self.handle_connection, host, port)
+
+    async def run_until_shutdown(self, host: str, port: int) -> None:
+        """Serve until ``POST /shutdown`` (or cancellation), then clean up."""
+        server = await self.serve(host, port)
+        try:
+            await self._shutdown.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            self.registry.close()
+
+    def request_shutdown(self) -> None:
+        """Thread-safe shutdown trigger for embedding runners."""
+        self._shutdown.set()
+
+
+def _result_lines(index: int, result: QueryResult, include_records: bool):
+    """The NDJSON lines one finished query contributes to the stream."""
+    if result.ok and include_records:
+        for tau, records in result.records_by_tau.items():
+            yield {
+                "type": "records",
+                "query": index,
+                "tau": tau,
+                "count": len(records),
+                "records": [record_to_dict(r) for r in records],
+            }
+    yield {
+        "type": "result",
+        "query": index,
+        "label": result.spec.label,
+        "kind": result.spec.kind,
+        "taus": list(result.spec.taus),
+        "ok": result.ok,
+        "error": result.error,
+        "counts": {str(tau): len(r) for tau, r in result.records_by_tau.items()},
+        "cache_hit": result.cache_hit,
+        "build_seconds": result.build_seconds,
+        "query_seconds": result.query_seconds,
+    }
+
+
+# ----------------------------------------------------------------------
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    registry: Optional[DatasetRegistry] = None,
+    max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+    max_workers: Optional[int] = None,
+    queue_limit: int = DEFAULT_QUEUE_LIMIT,
+    datasets: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    announce=None,
+) -> None:
+    """Blocking entry point for ``python -m repro serve``."""
+    app = ServeApp(
+        registry=registry,
+        max_entries=max_entries,
+        max_workers=max_workers,
+        queue_limit=queue_limit,
+    )
+    for name, spec in (datasets or {}).items():
+        app.registry.register(name, spec)
+
+    async def _main() -> None:
+        server = await app.serve(host, port)
+        if announce is not None:
+            sockets = server.sockets or ()
+            bound = sockets[0].getsockname()[:2] if sockets else (host, port)
+            announce(bound[0], bound[1], app)
+        try:
+            await app._shutdown.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            app.registry.close()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+
+
+class ServerHandle:
+    """An in-process server running on a background thread.
+
+    Used by the tests, the bench driver and the example client: start on
+    an ephemeral port, poke it over real sockets, stop it cleanly.
+    """
+
+    def __init__(self, app: ServeApp, host: str, port: int,
+                 thread: threading.Thread, loop: asyncio.AbstractEventLoop) -> None:
+        self.app = app
+        self.host = host
+        self.port = port
+        self._thread = thread
+        self._loop = loop
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Request shutdown and join the server thread (idempotent)."""
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self.app.request_shutdown)
+        self._thread.join(timeout)
+        if self._thread.is_alive():  # pragma: no cover - defensive
+            raise RuntimeError("server thread did not stop in time")
+
+
+def start_server_thread(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    registry: Optional[DatasetRegistry] = None,
+    max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+    max_workers: Optional[int] = None,
+    queue_limit: int = DEFAULT_QUEUE_LIMIT,
+    boot_timeout: float = 15.0,
+) -> ServerHandle:
+    """Start a server on a daemon thread; returns once it is listening."""
+    app = ServeApp(
+        registry=registry,
+        max_entries=max_entries,
+        max_workers=max_workers,
+        queue_limit=queue_limit,
+    )
+    booted = threading.Event()
+    state: Dict[str, Any] = {}
+
+    def _run() -> None:
+        async def _main() -> None:
+            server = await app.serve(host, port)
+            sockets = server.sockets or ()
+            bound = sockets[0].getsockname() if sockets else (host, port)
+            state["host"], state["port"] = bound[0], bound[1]
+            state["loop"] = asyncio.get_running_loop()
+            booted.set()
+            try:
+                await app._shutdown.wait()
+            finally:
+                server.close()
+                await server.wait_closed()
+                app.registry.close()
+
+        try:
+            asyncio.run(_main())
+        except BaseException as exc:  # pragma: no cover - surfaced via boot
+            state["error"] = exc
+            booted.set()
+
+    thread = threading.Thread(target=_run, name="repro-serve", daemon=True)
+    thread.start()
+    if not booted.wait(boot_timeout) or "error" in state:
+        raise RuntimeError(f"server failed to boot: {state.get('error')!r}")
+    return ServerHandle(app, state["host"], state["port"], thread, state["loop"])

@@ -189,3 +189,97 @@ class TestBatchCommand:
     def test_batch_missing_file_exits_2(self):
         code, _ = run_cli("batch", "/nonexistent/queries.json")
         assert code == 2
+
+    def test_batch_partial_failure_exits_1(self, tmp_path, monkeypatch):
+        """A poisoned query is reported per-query and flips the exit code
+        to 1 — the rest of the batch still completes (ISSUE 2 bugfix)."""
+        import repro.engine.engine as engine_mod
+        from repro.engine import QueryPlan
+
+        real_plan_batch = engine_mod.plan_batch
+
+        def _boom():
+            raise RuntimeError("poisoned builder")
+
+        def poisoning_plan_batch(specs, tps):
+            return [
+                QueryPlan(p.order, p.spec, p.key, _boom, p.runner)
+                if p.spec.label == "poison" else p
+                for p in real_plan_batch(specs, tps)
+            ]
+
+        monkeypatch.setattr(engine_mod, "plan_batch", poisoning_plan_batch)
+        qfile = tmp_path / "queries.json"
+        qfile.write_text(json.dumps([
+            {"kind": "triangles", "tau": 4},
+            {"kind": "triangles", "tau": 4, "epsilon": 0.99, "label": "poison"},
+            {"kind": "pairs-sum", "tau": 5},
+        ]))
+        out = tmp_path / "results.json"
+        code, text = run_cli(
+            "batch", str(qfile), "--n", "80", "--output", str(out)
+        )
+        assert code == 1
+        assert "ERROR RuntimeError: poisoned builder" in text
+        assert "1 FAILED" in text
+        # The two healthy queries still report records normally.
+        assert text.count("records") == 2
+        payload = json.loads(out.read_text())
+        assert payload["ok"] is False and payload["errors"] == 1
+        assert [q["ok"] for q in payload["queries"]] == [True, False, True]
+
+
+class TestServeCommand:
+    def test_parser_wires_serve_options(self):
+        args = build_parser().parse_args([
+            "serve", "--port", "0", "--queue-limit", "5",
+            "--dataset", 'a={"workload":"uniform","n":30}',
+            "--dataset", 'b={"workload":"social","n":30}',
+        ])
+        assert args.command == "serve"
+        assert args.port == 0 and args.queue_limit == 5
+        assert len(args.dataset) == 2
+
+    def test_bad_dataset_flag_exits_2(self):
+        code, _ = run_cli("serve", "--port", "0", "--dataset", "noequalsign")
+        assert code == 2
+        code, _ = run_cli("serve", "--port", "0", "--dataset", "a={broken")
+        assert code == 2
+
+    def test_serve_boots_and_answers(self):
+        """Boot the real server on an ephemeral port through the CLI
+        path, then stop it over HTTP."""
+        import http.client
+        import threading
+        import time
+
+        bound = {}
+        ready = threading.Event()
+
+        def runner():
+            from repro.serve import run_server
+
+            run_server(
+                port=0,
+                datasets={"d": {"workload": "uniform", "n": 30}},
+                announce=lambda host, port, app: (
+                    bound.update(host=host, port=port), ready.set()
+                ),
+            )
+
+        thread = threading.Thread(target=runner, daemon=True)
+        thread.start()
+        assert ready.wait(15)
+        conn = http.client.HTTPConnection(bound["host"], bound["port"], timeout=10)
+        conn.request("GET", "/health")
+        assert conn.getresponse().status == 200
+        conn.close()
+        conn = http.client.HTTPConnection(bound["host"], bound["port"], timeout=10)
+        conn.request("POST", "/shutdown")
+        assert conn.getresponse().status == 200
+        conn.close()
+        for _ in range(100):
+            if not thread.is_alive():
+                break
+            time.sleep(0.05)
+        assert not thread.is_alive()

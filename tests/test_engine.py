@@ -5,6 +5,12 @@ dataset builds each distinct index exactly once and matches per-call
 ``repro.api`` results — plus cache accounting, τ-sweep equivalence,
 concurrent-batch determinism, spec validation and serialisation, and
 the ``cache_key()`` hooks on the core index classes.
+
+The ISSUE 2 fault-isolation fixes are regression-tested here too: a
+poisoned query no longer destroys its batch, waiters on a failed
+single-flight build get chained per-thread exception copies (and are
+counted as ``failed_waits``, not hits), and ``build_seconds`` survives
+LRU eviction of the freshly built entry.
 """
 
 import threading
@@ -20,7 +26,14 @@ from repro import (
     find_sum_durable_pairs,
     find_union_durable_pairs,
 )
-from repro.engine import IndexCache, IndexKey, plan_batch, plan_query
+from repro.engine import (
+    IndexCache,
+    IndexKey,
+    QueryPlan,
+    execute_plans,
+    plan_batch,
+    plan_query,
+)
 from repro.engine.planner import distinct_index_keys
 
 from conftest import random_tps
@@ -226,9 +239,10 @@ class TestIndexCache:
 
     def test_hit_miss_accounting(self):
         cache = IndexCache()
-        obj, hit = cache.get_or_build(self.KEY, lambda: object())
+        obj, hit, build_s = cache.get_or_build(self.KEY, lambda: object())
         assert not hit and cache.stats.misses == 1 and cache.stats.builds == 1
-        again, hit = cache.get_or_build(self.KEY, lambda: object())
+        assert build_s >= 0.0
+        again, hit, _ = cache.get_or_build(self.KEY, lambda: object())
         assert hit and again is obj and cache.stats.hits == 1
 
     def test_failed_build_is_not_cached(self):
@@ -240,7 +254,7 @@ class TestIndexCache:
         with pytest.raises(RuntimeError):
             cache.get_or_build(self.KEY, boom)
         assert self.KEY not in cache
-        obj, hit = cache.get_or_build(self.KEY, lambda: "ok")
+        obj, hit, _ = cache.get_or_build(self.KEY, lambda: "ok")
         assert obj == "ok" and not hit
 
     def test_lru_eviction(self):
@@ -276,6 +290,253 @@ class TestIndexCache:
         assert len(builds) == 1
         assert all(r is results[0] for r in results)
         assert cache.stats.builds == 1 and cache.stats.hits == 7
+
+
+# ----------------------------------------------------------------------
+# Fault isolation (ISSUE 2 bugfixes)
+# ----------------------------------------------------------------------
+def _fake_plan(i, key_id, builder=None, runner=None, taus=(1.0,), label=None):
+    """A synthetic plan whose builder/runner the test controls."""
+    spec = QuerySpec(kind="triangles", taus=taus, label=label or f"q{i}")
+    return QueryPlan(
+        order=i,
+        spec=spec,
+        key=IndexKey("fake", f"fp-{key_id}", 0.5, "b"),
+        builder=builder if builder is not None else (lambda: object()),
+        runner=runner if runner is not None else (lambda index, tau: [])
+    )
+
+
+def _boom():
+    raise RuntimeError("poisoned builder")
+
+
+class TestFaultIsolation:
+    def test_batch_with_poisoned_builders_keeps_other_results(self):
+        """The ISSUE 2 acceptance criterion: 8 queries, 2 raise, 6 survive."""
+        plans = [
+            _fake_plan(i, key_id=i, builder=_boom if i in (2, 5) else None)
+            for i in range(8)
+        ]
+        results = execute_plans(
+            plans, IndexCache(), max_workers=4, raise_on_error=False
+        )
+        assert len(results) == 8
+        assert [r.spec.label for r in results] == [f"q{i}" for i in range(8)]
+        good = [r for r in results if r.ok]
+        bad = [r for r in results if not r.ok]
+        assert len(good) == 6 and len(bad) == 2
+        assert all(r.error is None and r.records_by_tau for r in good)
+        for r in bad:
+            assert r.spec.label in ("q2", "q5")
+            assert "RuntimeError: poisoned builder" in r.error
+            assert r.records_by_tau == {} and r.count == 0
+
+    def test_poisoned_runner_is_isolated_too(self):
+        def bad_runner(index, tau):
+            raise ValueError("runner blew up")
+
+        plans = [
+            _fake_plan(0, key_id=0),
+            _fake_plan(1, key_id=1, runner=bad_runner),
+            _fake_plan(2, key_id=2),
+        ]
+        results = execute_plans(plans, IndexCache(), raise_on_error=False)
+        assert [r.ok for r in results] == [True, False, True]
+        assert "ValueError: runner blew up" in results[1].error
+
+    def test_raise_on_error_raises_first_failure_in_submission_order(self):
+        plans = [
+            _fake_plan(0, key_id=0),
+            _fake_plan(1, key_id=1, builder=_boom),
+            _fake_plan(2, key_id=2, runner=lambda i, t: 1 / 0),
+        ]
+        with pytest.raises(RuntimeError, match="poisoned builder"):
+            execute_plans(plans, IndexCache(), max_workers=3, raise_on_error=True)
+
+    def test_sequential_isolation_matches_parallel(self):
+        plans = [
+            _fake_plan(0, key_id=0, builder=_boom),
+            _fake_plan(1, key_id=1),
+        ]
+        results = execute_plans(
+            plans, IndexCache(), parallel=False, raise_on_error=False
+        )
+        assert [r.ok for r in results] == [False, True]
+
+    def test_engine_run_batch_isolates_faults(self, small_tps, monkeypatch):
+        """End-to-end through QueryEngine.run_batch with real specs."""
+        import repro.engine.engine as engine_mod
+
+        real_plan_batch = engine_mod.plan_batch
+
+        def poisoning_plan_batch(specs, tps):
+            plans = real_plan_batch(specs, tps)
+            return [
+                QueryPlan(p.order, p.spec, p.key, _boom, p.runner)
+                if p.spec.label == "poison" else p
+                for p in plans
+            ]
+
+        monkeypatch.setattr(engine_mod, "plan_batch", poisoning_plan_batch)
+        engine = QueryEngine()
+        specs = [
+            QuerySpec(kind="triangles", taus=3.0),
+            # ε=0.99 keeps the poisoned keys off the healthy queries' keys.
+            QuerySpec(kind="triangles", taus=3.0, epsilon=0.99, label="poison"),
+            QuerySpec(kind="pairs-sum", taus=3.0),
+            QuerySpec(kind="pairs-sum", taus=3.0, epsilon=0.99, label="poison"),
+            QuerySpec(kind="pairs-union", taus=3.0, kappa=2),
+            QuerySpec(kind="cliques", taus=3.0),
+            QuerySpec(kind="stars", taus=3.0),
+            QuerySpec(kind="triangles", taus=(2.0, 4.0)),
+        ]
+        batch = engine.run_batch(small_tps, specs)
+        assert len(batch) == 8
+        assert batch.n_errors == 2 and not batch.ok
+        assert [not r.ok for r in batch] == [
+            s.label == "poison" for s in specs
+        ]
+        expected = find_durable_triangles(small_tps, 3.0)
+        assert [r.key for r in batch[0].records] == [r.key for r in expected]
+        # raise_on_error=True restores the historical contract.
+        with pytest.raises(RuntimeError, match="poisoned builder"):
+            engine.run_batch(small_tps, specs, raise_on_error=True)
+
+    def test_error_results_serialise(self):
+        plans = [_fake_plan(0, key_id=0, builder=_boom)]
+        [result] = execute_plans(plans, IndexCache(), raise_on_error=False)
+        payload = result.to_dict()
+        assert payload["ok"] is False
+        assert "poisoned builder" in payload["error"]
+        ok_payload = execute_plans(
+            [_fake_plan(1, key_id=1)], IndexCache(), raise_on_error=False
+        )[0].to_dict()
+        assert ok_payload["ok"] is True and ok_payload["error"] is None
+
+    def test_batch_result_reports_error_count(self, small_tps):
+        engine = QueryEngine()
+        batch = engine.run_batch(small_tps, [QuerySpec(kind="triangles", taus=3.0)])
+        assert batch.ok and batch.n_errors == 0
+        assert batch.to_dict()["errors"] == 0 and batch.to_dict()["ok"] is True
+
+
+class TestFailedFlightAccounting:
+    KEY = IndexKey("f", "fp", 0.5, "cover-tree")
+
+    def test_waiters_on_failed_build_get_chained_copies(self):
+        cache = IndexCache()
+        gate = threading.Event()
+
+        class BoomError(Exception):
+            pass
+
+        def failing_build():
+            gate.wait(timeout=5)
+            raise BoomError("kaboom")
+
+        n_waiters = 5
+        errors = [None] * (n_waiters + 1)
+
+        def worker(i):
+            try:
+                cache.get_or_build(self.KEY, failing_build)
+            except BaseException as exc:  # noqa: BLE001
+                errors[i] = exc
+
+        owner = threading.Thread(target=worker, args=(0,))
+        owner.start()
+        # Wait until the owner's in-flight entry is visible, then let the
+        # waiters pile onto that flight before releasing the gate.
+        for _ in range(200):
+            if len(cache) == 1:
+                break
+            threading.Event().wait(0.005)
+        waiters = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(1, n_waiters + 1)
+        ]
+        for t in waiters:
+            t.start()
+        threading.Event().wait(0.3)
+        gate.set()
+        owner.join()
+        for t in waiters:
+            t.join()
+
+        assert all(isinstance(e, BoomError) for e in errors)
+        originals = [e for e in errors if e.__cause__ is None]
+        copies = [e for e in errors if e.__cause__ is not None]
+        assert len(originals) == 1 and len(copies) == n_waiters
+        # Each waiter raised its own instance, chained to the original.
+        assert len({id(e) for e in errors}) == n_waiters + 1
+        assert all(e.__cause__ is originals[0] for e in copies)
+
+        # Stats: one miss (the failed flight's owner), no hits, no
+        # builds; the waiters are failed_waits, not hits.
+        stats = cache.stats
+        assert stats.misses == 1
+        assert stats.hits == 0
+        assert stats.builds == 0
+        assert stats.failed_waits == n_waiters
+        assert stats.requests == n_waiters + 1
+
+    def test_failed_waits_in_dict_and_since(self):
+        cache = IndexCache()
+        before = cache.stats.snapshot()
+        assert "failed_waits" in cache.stats.as_dict()
+        assert cache.stats.snapshot().since(before).failed_waits == 0
+
+    def test_successful_waiters_still_count_as_hits(self):
+        # The happy path of the old accounting must be unchanged.
+        cache = IndexCache()
+        cache.get_or_build(self.KEY, lambda: "idx")
+        cache.get_or_build(self.KEY, lambda: "idx")
+        assert cache.stats.hits == 1 and cache.stats.failed_waits == 0
+
+
+class TestBuildSecondsUnderEviction:
+    def test_outcome_carries_build_seconds_past_eviction(self):
+        import time
+
+        cache = IndexCache(max_entries=1)
+        k1 = IndexKey("f", "one", 0.5, "b")
+        k2 = IndexKey("f", "two", 0.5, "b")
+
+        def slow_build():
+            time.sleep(0.01)
+            return "a"
+
+        out1 = cache.get_or_build(k1, slow_build)
+        cache.get_or_build(k2, lambda: "b")  # evicts k1
+        assert k1 not in cache
+        assert out1.build_seconds >= 0.01
+        # ...which is exactly the after-the-fact lookup's blind spot:
+        assert cache.build_seconds_for(k1) == 0.0
+
+    def test_executor_reports_build_time_despite_eviction(self):
+        """A mid-query eviction (guaranteed at max_entries=1) must not
+        zero the reported build time."""
+        import time
+
+        cache = IndexCache(max_entries=1)
+        other_key = IndexKey("fake", "fp-other", 0.5, "b")
+
+        def evicting_runner(index, tau):
+            # Building another index evicts this plan's entry before the
+            # executor assembles its QueryResult.
+            cache.get_or_build(other_key, lambda: "other")
+            return []
+
+        plan = _fake_plan(
+            0,
+            key_id="self",
+            builder=lambda: (time.sleep(0.01), "idx")[1],
+            runner=evicting_runner,
+        )
+        [result] = execute_plans(plans=[plan], cache=cache, parallel=False)
+        assert plan.key not in cache  # the eviction really happened
+        assert result.build_seconds >= 0.01
 
 
 # ----------------------------------------------------------------------

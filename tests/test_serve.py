@@ -1,0 +1,495 @@
+"""Tests for the async serving front end (ISSUE 2 tentpole).
+
+Drives a real in-process server over real sockets: register → query →
+stream → stats, per-query fault records in the NDJSON stream, bounded
+admission (429), shard isolation between datasets, and clean shutdown.
+Registry and bridge units are covered directly underneath.
+"""
+
+import asyncio
+import json
+import http.client
+import threading
+import time
+
+import pytest
+
+from repro import QueryEngine, QuerySpec, ValidationError
+from repro.datasets import workload_from_spec
+from repro.engine import QueryResult, plan_batch
+from repro.serve import (
+    AdmissionQueue,
+    DatasetRegistry,
+    OverloadedError,
+    UnknownDatasetError,
+    start_server_thread,
+    submit_plans,
+)
+
+from conftest import random_tps
+
+SOCIAL_SPEC = {"workload": "social", "n": 80, "seed": 5}
+COAUTHOR_SPEC = {"workload": "coauthor", "n": 60, "seed": 3}
+
+
+# ----------------------------------------------------------------------
+# HTTP helpers
+# ----------------------------------------------------------------------
+def request(handle, method, path, body=None, timeout=30):
+    """One request against the fixture server; returns (status, headers, bytes)."""
+    conn = http.client.HTTPConnection(handle.host, handle.port, timeout=timeout)
+    try:
+        conn.request(
+            method,
+            path,
+            body=json.dumps(body) if body is not None else None,
+            headers={"Content-Type": "application/json"},
+        )
+        resp = conn.getresponse()
+        return resp.status, dict(resp.getheaders()), resp.read()
+    finally:
+        conn.close()
+
+
+def request_json(handle, method, path, body=None):
+    status, _, data = request(handle, method, path, body)
+    return status, json.loads(data)
+
+
+def request_ndjson(handle, method, path, body=None):
+    status, _, data = request(handle, method, path, body)
+    lines = [json.loads(line) for line in data.decode().strip().split("\n") if line]
+    return status, lines
+
+
+# ----------------------------------------------------------------------
+# Fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def server():
+    handle = start_server_thread(queue_limit=8)
+    status, doc = request_json(
+        handle, "POST", "/datasets", {"name": "soc", "dataset": SOCIAL_SPEC}
+    )
+    assert status == 201, doc
+    yield handle
+    handle.stop()
+
+
+# ----------------------------------------------------------------------
+# Protocol end-to-end
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_health(self, server):
+        status, doc = request_json(server, "GET", "/health")
+        assert status == 200 and doc["ok"] is True
+
+    def test_register_reports_identity(self, server):
+        status, doc = request_json(
+            server, "POST", "/datasets", {"name": "tmp-id", "dataset": SOCIAL_SPEC}
+        )
+        assert status == 201
+        reg = doc["registered"]
+        tps = workload_from_spec(SOCIAL_SPEC)
+        assert reg["n"] == tps.n and reg["fingerprint"] == tps.fingerprint()
+
+    def test_duplicate_registration_conflicts(self, server):
+        status, doc = request_json(
+            server, "POST", "/datasets", {"name": "soc", "dataset": SOCIAL_SPEC}
+        )
+        assert status == 409 and "already registered" in doc["error"]
+        status, _ = request_json(
+            server,
+            "POST",
+            "/datasets",
+            {"name": "soc", "dataset": SOCIAL_SPEC, "replace": True},
+        )
+        assert status == 201
+
+    def test_register_bad_spec_is_400(self, server):
+        status, doc = request_json(
+            server, "POST", "/datasets",
+            {"name": "bad", "dataset": {"workload": "nonsense"}},
+        )
+        assert status == 400 and "unknown workload" in doc["error"]
+        status, _ = request_json(server, "POST", "/datasets", {"name": "x"})
+        assert status == 400
+        # A non-string name is client error (400), never a 500.
+        status, doc = request_json(
+            server, "POST", "/datasets",
+            {"name": {"a": 1}, "dataset": SOCIAL_SPEC},
+        )
+        assert status == 400 and "name" in doc["error"]
+
+    def test_query_streams_results_matching_engine(self, server):
+        queries = [
+            {"kind": "triangles", "taus": [2.0, 4.0], "label": "sweep"},
+            {"kind": "pairs-sum", "tau": 3.0},
+            {"kind": "cliques", "tau": 2.0, "m": 3},
+        ]
+        status, lines = request_ndjson(
+            server, "POST", "/query", {"dataset": "soc", "queries": queries}
+        )
+        assert status == 200
+        assert lines[0]["type"] == "batch-start" and lines[0]["queries"] == 3
+        assert lines[-1]["type"] == "batch-end"
+        assert lines[-1]["ok"] is True and lines[-1]["errors"] == 0
+        assert "cache" in lines[-1]
+
+        results = [ln for ln in lines if ln["type"] == "result"]
+        assert [r["query"] for r in results] == [0, 1, 2]
+        assert all(r["ok"] for r in results)
+
+        # The streamed counts must equal a direct engine run.
+        engine = QueryEngine()
+        batch = engine.run_batch(
+            workload_from_spec(SOCIAL_SPEC),
+            [QuerySpec.from_dict(q) for q in queries],
+        )
+        for streamed, local in zip(results, batch):
+            assert streamed["counts"] == {
+                str(tau): len(recs) for tau, recs in local.records_by_tau.items()
+            }
+
+        # One records line per τ so a τ-sweep never buffers as one blob.
+        record_lines = [ln for ln in lines if ln["type"] == "records"]
+        sweep_lines = [ln for ln in record_lines if ln["query"] == 0]
+        assert [ln["tau"] for ln in sweep_lines] == [2.0, 4.0]
+        for ln in record_lines:
+            assert len(ln["records"]) == ln["count"]
+
+    def test_include_records_false_skips_payload(self, server):
+        status, lines = request_ndjson(
+            server,
+            "POST",
+            "/query",
+            {
+                "dataset": "soc",
+                "queries": [{"kind": "triangles", "tau": 2.0}],
+                "include_records": False,
+            },
+        )
+        assert status == 200
+        assert not [ln for ln in lines if ln["type"] == "records"]
+        assert [ln for ln in lines if ln["type"] == "result"][0]["ok"] is True
+
+    def test_repeat_query_hits_shard_cache(self, server):
+        body = {"dataset": "soc", "queries": [{"kind": "pairs-union", "tau": 3.0, "kappa": 2}]}
+        request_ndjson(server, "POST", "/query", body)
+        _, lines = request_ndjson(server, "POST", "/query", body)
+        result = [ln for ln in lines if ln["type"] == "result"][0]
+        assert result["cache_hit"] is True
+
+    def test_unknown_dataset_is_404(self, server):
+        status, doc = request_json(
+            server, "POST", "/query",
+            {"dataset": "nope", "queries": [{"kind": "triangles", "tau": 2.0}]},
+        )
+        assert status == 404 and "unknown dataset" in doc["error"]
+
+    def test_invalid_query_spec_is_400(self, server):
+        status, doc = request_json(
+            server, "POST", "/query",
+            {"dataset": "soc", "queries": [{"kind": "triangles"}]},
+        )
+        assert status == 400 and "durability" in doc["error"]
+        # Plan-time validation too (exact triangles need the ℓ∞ metric).
+        status, doc = request_json(
+            server, "POST", "/query",
+            {"dataset": "soc",
+             "queries": [{"kind": "triangles", "tau": 2.0, "backend": "linf-exact"}]},
+        )
+        assert status == 400 and "linf" in doc["error"]
+
+    def test_inline_dataset_spec_is_rejected(self, server):
+        status, doc = request_json(
+            server, "POST", "/query",
+            {"dataset": SOCIAL_SPEC, "queries": [{"kind": "triangles", "tau": 2.0}]},
+        )
+        assert status == 400 and "register" in doc["error"]
+
+    def test_unroutable_paths(self, server):
+        status, _ = request_json(server, "GET", "/nope")
+        assert status == 404
+        status, _ = request_json(server, "GET", "/query")
+        assert status == 405
+        status, doc = request_json(server, "POST", "/query", {})
+        assert status == 400 and "dataset" in doc["error"]
+
+    def test_malformed_json_body_is_400(self, server):
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        try:
+            conn.request("POST", "/query", body=b"{not json",
+                         headers={"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            assert resp.status == 400
+        finally:
+            conn.close()
+
+
+# ----------------------------------------------------------------------
+# Fault isolation over the wire
+# ----------------------------------------------------------------------
+class TestFaultStreaming:
+    def test_poisoned_query_streams_error_record(self, server, monkeypatch):
+        import repro.serve.bridge as bridge_mod
+        from repro.engine.executor import execute_plan as real_execute
+
+        def poisoned_execute(plan, cache, raise_on_error=True):
+            if plan.spec.label == "poison":
+                return QueryResult(
+                    spec=plan.spec,
+                    key=plan.key,
+                    records_by_tau={},
+                    cache_hit=False,
+                    build_seconds=0.0,
+                    query_seconds=0.0,
+                    error="RuntimeError: poisoned",
+                )
+            return real_execute(plan, cache, raise_on_error)
+
+        monkeypatch.setattr(bridge_mod, "execute_plan", poisoned_execute)
+        status, lines = request_ndjson(
+            server,
+            "POST",
+            "/query",
+            {
+                "dataset": "soc",
+                "queries": [
+                    {"kind": "triangles", "tau": 2.0},
+                    {"kind": "triangles", "tau": 2.0, "label": "poison"},
+                    {"kind": "pairs-sum", "tau": 3.0},
+                ],
+            },
+        )
+        assert status == 200  # the batch itself succeeds; the query failed
+        results = [ln for ln in lines if ln["type"] == "result"]
+        assert [r["ok"] for r in results] == [True, False, True]
+        assert results[1]["error"] == "RuntimeError: poisoned"
+        assert lines[-1]["errors"] == 1 and lines[-1]["ok"] is False
+
+
+# ----------------------------------------------------------------------
+# Backpressure and shard isolation
+# ----------------------------------------------------------------------
+class TestBackpressure:
+    def test_full_admission_queue_rejects_with_429(self, server):
+        shard = server.app.registry.get("soc")
+        limit = shard.admission.limit
+        assert shard.admission.try_acquire(limit)  # fill the queue
+        try:
+            status, headers, data = request(
+                server,
+                "POST",
+                "/query",
+                {"dataset": "soc", "queries": [{"kind": "triangles", "tau": 2.0}]},
+            )
+            doc = json.loads(data)
+            assert status == 429
+            assert "admission limit" in doc["error"]
+            assert "Retry-After" in headers
+        finally:
+            shard.admission.release(limit)
+        stats = server.app.registry.get("soc").stats()
+        assert stats["rejected"] >= 1
+        # Released: the next query goes straight through.
+        status, lines = request_ndjson(
+            server,
+            "POST",
+            "/query",
+            {"dataset": "soc", "queries": [{"kind": "triangles", "tau": 2.0}]},
+        )
+        assert status == 200 and lines[-1]["ok"] is True
+
+    def test_oversized_batch_is_rejected_whole(self, server):
+        shard = server.app.registry.get("soc")
+        limit = shard.admission.limit
+        queries = [{"kind": "triangles", "tau": float(t)} for t in range(2, 2 + limit + 1)]
+        status, _, data = request(
+            server, "POST", "/query", {"dataset": "soc", "queries": queries}
+        )
+        assert status == 429
+        assert shard.admission.in_flight == 0  # nothing half-admitted
+
+
+class TestShardIsolation:
+    def test_concurrent_batches_on_two_shards(self, server):
+        status, _ = request_json(
+            server, "POST", "/datasets",
+            {"name": "coa", "dataset": COAUTHOR_SPEC, "replace": True},
+        )
+        assert status == 201
+        soc_cache = server.app.registry.get("soc").cache
+        coa_cache = server.app.registry.get("coa").cache
+        assert soc_cache is not coa_cache
+        coa_builds_before = coa_cache.stats.builds
+
+        outcomes = {}
+
+        def worker(name, taus):
+            outcomes[name] = request_ndjson(
+                server,
+                "POST",
+                "/query",
+                {"dataset": name,
+                 "queries": [{"kind": "triangles", "taus": taus},
+                             {"kind": "pairs-sum", "tau": taus[0]}]},
+            )
+
+        threads = [
+            threading.Thread(target=worker, args=("soc", [2.0, 3.0])),
+            threading.Thread(target=worker, args=("coa", [20.0, 30.0])),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        for name in ("soc", "coa"):
+            status, lines = outcomes[name]
+            assert status == 200
+            assert lines[-1]["type"] == "batch-end" and lines[-1]["ok"] is True
+
+        # Each shard built into its own cache: the coauthor queries
+        # never touched the social shard's index cache.
+        assert coa_cache.stats.builds >= coa_builds_before + 2
+        status, doc = request_json(server, "GET", "/stats")
+        assert status == 200
+        assert set(doc["shards"]) >= {"soc", "coa"}
+        for name in ("soc", "coa"):
+            shard_stats = doc["shards"][name]
+            assert "cache" in shard_stats and "failed_waits" in shard_stats["cache"]
+            assert shard_stats["queries_total"] >= 2
+
+
+# ----------------------------------------------------------------------
+# Lifecycle
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_shutdown_endpoint_stops_server_cleanly(self):
+        handle = start_server_thread()
+        request_json(
+            handle, "POST", "/datasets",
+            {"name": "d", "dataset": {"workload": "uniform", "n": 40}},
+        )
+        status, doc = request_json(handle, "POST", "/shutdown")
+        assert status == 200 and doc["stopping"] is True
+        handle._thread.join(timeout=10)
+        assert not handle._thread.is_alive()
+        with pytest.raises(OSError):
+            request_json(handle, "GET", "/health")
+        handle.stop()  # idempotent
+
+    def test_handle_stop_is_clean_and_idempotent(self):
+        handle = start_server_thread()
+        handle.stop()
+        handle.stop()
+        assert not handle._thread.is_alive()
+
+
+# ----------------------------------------------------------------------
+# Registry / bridge units
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_register_accepts_tps_and_spec(self):
+        registry = DatasetRegistry()
+        try:
+            shard = registry.register("direct", random_tps(n=30, seed=1))
+            assert shard.tps.n == 30 and "direct" in registry
+            registry.register("spec", {"workload": "uniform", "n": 25})
+            assert registry.names() == ["direct", "spec"]
+        finally:
+            registry.close()
+
+    def test_duplicate_and_replace(self):
+        from repro.serve import DuplicateDatasetError
+
+        registry = DatasetRegistry()
+        try:
+            first = registry.register("d", random_tps(n=20, seed=1))
+            with pytest.raises(DuplicateDatasetError, match="already registered"):
+                registry.register("d", random_tps(n=20, seed=2))
+            second = registry.register("d", random_tps(n=20, seed=2), replace=True)
+            assert registry.get("d") is second is not first
+        finally:
+            registry.close()
+
+    def test_bad_names_rejected(self):
+        registry = DatasetRegistry()
+        for name in ("", "a/b", " padded ", 7):
+            with pytest.raises(ValidationError):
+                registry.register(name, random_tps(n=10, seed=0))
+
+    def test_unknown_dataset_error(self):
+        registry = DatasetRegistry()
+        with pytest.raises(UnknownDatasetError, match="unknown dataset"):
+            registry.get("ghost")
+
+    def test_per_shard_defaults_and_overrides(self):
+        registry = DatasetRegistry(max_entries=4, queue_limit=9)
+        try:
+            a = registry.register("a", random_tps(n=10, seed=0))
+            b = registry.register(
+                "b", random_tps(n=10, seed=1), max_entries=2, queue_limit=3
+            )
+            assert a.cache.max_entries == 4 and a.admission.limit == 9
+            assert b.cache.max_entries == 2 and b.admission.limit == 3
+        finally:
+            registry.close()
+
+    def test_close_is_idempotent(self):
+        registry = DatasetRegistry()
+        registry.register("d", random_tps(n=10, seed=0))
+        registry.close()
+        registry.close()
+        assert len(registry) == 0
+
+
+class TestAdmissionQueue:
+    def test_acquire_release_accounting(self):
+        q = AdmissionQueue(3)
+        assert q.try_acquire(2) and q.in_flight == 2
+        assert not q.try_acquire(2)  # 2 + 2 > 3: rejected whole
+        assert q.rejected == 2 and q.in_flight == 2
+        q.release(2)
+        assert q.in_flight == 0
+
+    def test_limit_validated(self):
+        with pytest.raises(ValidationError):
+            AdmissionQueue(0)
+
+    def test_submit_plans_is_all_or_nothing(self):
+        registry = DatasetRegistry(queue_limit=2)
+        try:
+            shard = registry.register("d", random_tps(n=30, seed=1))
+            specs = [QuerySpec(kind="triangles", taus=float(t)) for t in (2, 3, 4)]
+            plans = plan_batch(specs, shard.tps)
+
+            async def overloaded():
+                with pytest.raises(OverloadedError):
+                    submit_plans(shard, plans)  # 3 > limit of 2
+                assert shard.admission.in_flight == 0
+
+            asyncio.run(overloaded())
+
+            async def admitted():
+                futures = submit_plans(shard, plans[:2])
+                results = [await f for f in futures]
+                assert all(r.ok for r in results)
+                # Done-callbacks release the slots on the loop.
+                for _ in range(100):
+                    if shard.admission.in_flight == 0:
+                        break
+                    await asyncio.sleep(0.01)
+                assert shard.admission.in_flight == 0
+
+            asyncio.run(admitted())
+            # The done-callbacks also bumped the served counters.
+            for _ in range(100):
+                if shard.stats()["queries_total"] == 2:
+                    break
+                time.sleep(0.01)
+            assert shard.stats()["queries_total"] == 2
+            assert shard.stats()["errors_total"] == 0
+        finally:
+            registry.close()
