@@ -2,23 +2,33 @@
 """Closed-loop load driver for the serving front end → ``BENCH_serve.json``.
 
 Boots an in-process server (ephemeral port), registers **two datasets
-on separate shards**, then runs three phases:
+on separate shards**, then runs four phases:
 
 1. **warmup** — one batch per dataset so every index the load phase
    needs is built (the steady-state serving regime the paper's
    preprocess-once economics predict);
 2. **load** — closed-loop: ``--clients`` worker threads per dataset,
    each issuing ``--requests`` streamed query batches back-to-back over
-   plain ``http.client``; per-request wall latencies are recorded;
-3. **overload** — the shard's admission queue is saturated and a burst
+   a pooled keep-alive connection; per-request wall latencies are
+   recorded;
+3. **connection reuse** — a τ-sweep-plus-``/stats``-polling request
+   stream (a client sweeping thresholds while a dashboard polls — the
+   cheap, chatty traffic where connection setup is a real fraction of
+   request cost) is replayed twice: once opening a fresh TCP connection
+   per request with ``Connection: close``, once over pooled keep-alive
+   connections.  Identical workload, so the latency delta is purely
+   connection amortisation;
+4. **overload** — the shard's admission queue is saturated and a burst
    of requests is fired to demonstrate bounded-queue 429 rejection.
 
 The emitted JSON carries latency percentiles, throughput, per-shard
-cache statistics from ``GET /stats``, and the overload counts; CI
-uploads it next to ``BENCH_smoke.json`` so the serving-path trajectory
-accumulates run over run.  Exit code is non-zero if any phase misbehaves
-(failed query, missing rejection, unclean shutdown), which doubles as
-the CI serve smoke.
+cache statistics from ``GET /stats``, the server's connection counters,
+the overload counts, and a ``connection_reuse`` section comparing the
+two reuse modes; the driver fails (non-zero exit) unless keep-alive
+opened fewer connections than it served requests *and* beat the
+per-request-connection mean latency on the identical workload.  CI
+uploads the JSON next to ``BENCH_smoke.json`` so the serving-path
+trajectory accumulates run over run.
 
 Usage::
 
@@ -58,26 +68,63 @@ QUERIES = {
 }
 
 
-def _request(host, port, method, path, body=None, timeout=60):
-    conn = http.client.HTTPConnection(host, port, timeout=timeout)
-    try:
-        conn.request(
-            method,
-            path,
-            body=json.dumps(body) if body is not None else None,
-            headers={"Content-Type": "application/json"},
-        )
+class Client:
+    """Stdlib HTTP client that makes connection reuse measurable.
+
+    ``pooled=True`` keeps one ``http.client.HTTPConnection`` open across
+    requests (HTTP/1.1 keep-alive, with one transparent reconnect if the
+    server closed the socket — idle timeout or max-requests cap);
+    ``pooled=False`` opens a fresh connection per request and sends
+    ``Connection: close``, the baseline the reuse numbers are compared
+    against.  ``connections_opened`` counts real TCP connects either way.
+    """
+
+    def __init__(self, host, port, pooled=True, timeout=60):
+        self.host = host
+        self.port = port
+        self.pooled = pooled
+        self.timeout = timeout
+        self.connections_opened = 0
+        self._conn = None
+
+    def _new_conn(self):
+        self.connections_opened += 1
+        return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    @staticmethod
+    def _issue(conn, method, path, body, headers):
+        conn.request(method, path, body=body, headers=headers)
         resp = conn.getresponse()
         return resp.status, resp.read()
-    finally:
-        conn.close()
+
+    def request(self, method, path, body=None):
+        payload = json.dumps(body) if body is not None else None
+        headers = {"Content-Type": "application/json"}
+        if not self.pooled:
+            headers["Connection"] = "close"
+            conn = self._new_conn()
+            try:
+                return self._issue(conn, method, path, payload, headers)
+            finally:
+                conn.close()
+        if self._conn is None:
+            self._conn = self._new_conn()
+        try:
+            return self._issue(self._conn, method, path, payload, headers)
+        except (http.client.HTTPException, OSError):
+            self._conn.close()
+            self._conn = self._new_conn()
+            return self._issue(self._conn, method, path, payload, headers)
+
+    def close(self):
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
 
 
-def _query_once(handle, dataset, include_records=False):
+def _query_once(client, dataset, include_records=False):
     t0 = time.perf_counter()
-    status, data = _request(
-        handle.host,
-        handle.port,
+    status, data = client.request(
         "POST",
         "/query",
         {
@@ -100,13 +147,133 @@ def _percentile(sorted_values, q):
     return sorted_values[idx]
 
 
+def _latency_ms(values):
+    values = sorted(values)
+    return {
+        "mean": statistics.fmean(values) * 1e3 if values else 0.0,
+        "p50": _percentile(values, 0.50) * 1e3,
+        "p90": _percentile(values, 0.90) * 1e3,
+        "p99": _percentile(values, 0.99) * 1e3,
+        "max": values[-1] * 1e3 if values else 0.0,
+    }
+
+
+def run_load(handle, clients, requests, pooled):
+    """One closed-loop load phase; every worker owns one Client."""
+    latencies = {name: [] for name in DATASETS}
+    errors = {name: 0 for name in DATASETS}
+    lock = threading.Lock()
+    connections = []
+
+    def worker(name):
+        client = Client(handle.host, handle.port, pooled=pooled)
+        try:
+            for _ in range(requests):
+                status, latency, end = _query_once(client, name)
+                with lock:
+                    if status == 200 and end is not None and end.get("ok"):
+                        latencies[name].append(latency)
+                    else:
+                        errors[name] += 1
+        finally:
+            client.close()
+            with lock:
+                connections.append(client.connections_opened)
+
+    threads = [
+        threading.Thread(target=worker, args=(name,))
+        for name in DATASETS
+        for _ in range(clients)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+
+    all_latencies = [v for values in latencies.values() for v in values]
+    return {
+        "mode": "keep-alive" if pooled else "close",
+        "latencies": latencies,
+        "errors": errors,
+        "requests": len(all_latencies),
+        "connections_opened": sum(connections),
+        "wall_seconds": wall,
+        "latency_ms": _latency_ms(all_latencies),
+    }
+
+
+#: One reuse-phase iteration: a τ-sweep against the (cached) index,
+#: then four ``/stats`` polls — the cheap per-request regime where TCP
+#: setup is a measurable slice of every ``Connection: close`` request.
+REUSE_SWEEP = {"kind": "triangles", "taus": [1.5, 2.0, 3.0], "label": "sweep"}
+
+
+def run_reuse_phase(handle, clients, iterations, pooled, dataset="sweep"):
+    """Replay the sweep-plus-polling stream in one connection mode."""
+    latencies = []
+    errors = [0]
+    lock = threading.Lock()
+    connections = []
+
+    def one_request(client, method, path, body):
+        t0 = time.perf_counter()
+        status, data = client.request(method, path, body)
+        latency = time.perf_counter() - t0
+        ok = status == 200
+        if ok and path == "/query":
+            last = json.loads(data.decode().strip().rsplit("\n", 1)[-1])
+            ok = last.get("type") == "batch-end" and last.get("ok", False)
+        with lock:
+            if ok:
+                latencies.append(latency)
+            else:
+                errors[0] += 1
+
+    query_body = {
+        "dataset": dataset,
+        "queries": [REUSE_SWEEP],
+        "include_records": False,
+    }
+
+    def worker():
+        client = Client(handle.host, handle.port, pooled=pooled)
+        try:
+            for _ in range(iterations):
+                one_request(client, "POST", "/query", query_body)
+                for _ in range(4):
+                    one_request(client, "GET", "/stats", None)
+        finally:
+            client.close()
+            with lock:
+                connections.append(client.connections_opened)
+
+    threads = [threading.Thread(target=worker) for _ in range(clients)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+
+    return {
+        "mode": "keep-alive" if pooled else "close",
+        "requests": len(latencies),
+        "errors": errors[0],
+        "connections_opened": sum(connections),
+        "wall_seconds": wall,
+        "latency_ms": _latency_ms(latencies),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--n", type=int, default=300, help="points per dataset")
     parser.add_argument("--clients", type=int, default=4,
                         help="closed-loop workers per dataset")
     parser.add_argument("--requests", type=int, default=8,
-                        help="requests per worker")
+                        help="requests per worker (per load mode)")
     parser.add_argument("--queue-limit", type=int, default=16,
                         help="per-shard admission bound")
     parser.add_argument("--out", default="BENCH_serve.json")
@@ -114,13 +281,13 @@ def main(argv=None) -> int:
 
     failures = []
     handle = start_server_thread(queue_limit=args.queue_limit)
+    admin = Client(handle.host, handle.port, pooled=True)
     try:
         # -- register two datasets, one shard each --------------------
         for name, spec in DATASETS.items():
             spec = dict(spec, n=args.n)
-            status, data = _request(
-                handle.host, handle.port, "POST", "/datasets",
-                {"name": name, "dataset": spec},
+            status, data = admin.request(
+                "POST", "/datasets", {"name": name, "dataset": spec}
             )
             if status != 201:
                 failures.append(f"register {name}: HTTP {status} {data!r}")
@@ -129,39 +296,57 @@ def main(argv=None) -> int:
         build_seconds = {}
         for name in DATASETS:
             t0 = time.perf_counter()
-            status, _latency, end = _query_once(handle, name)
+            status, _latency, end = _query_once(admin, name)
             if status != 200 or end is None or not end.get("ok"):
                 failures.append(f"warmup {name}: HTTP {status}, end={end}")
                 continue
             build_seconds[name] = time.perf_counter() - t0
 
-        # -- closed-loop load over both shards concurrently -----------
-        latencies = {name: [] for name in DATASETS}
-        errors = {name: 0 for name in DATASETS}
+        # -- closed-loop load over both shards, pooled connections ----
+        load_phase = run_load(handle, args.clients, args.requests, pooled=True)
+        if any(load_phase["errors"].values()):
+            failures.append(f"load-phase errors: {load_phase['errors']}")
 
-        def worker(name):
-            for _ in range(args.requests):
-                status, latency, end = _query_once(handle, name)
-                if status == 200 and end is not None and end.get("ok"):
-                    latencies[name].append(latency)
-                else:
-                    errors[name] += 1
+        # -- connection reuse: identical stream, both connection modes -
+        status, data = admin.request(
+            "POST", "/datasets",
+            {"name": "sweep",
+             "dataset": {"workload": "social", "n": min(args.n, 60), "seed": 11}},
+        )
+        if status != 201:
+            failures.append(f"register sweep dataset: HTTP {status} {data!r}")
+        # Warm the sweep index so both modes measure pure serving cost.
+        admin.request(
+            "POST", "/query",
+            {"dataset": "sweep", "queries": [REUSE_SWEEP], "include_records": False},
+        )
+        reuse_iterations = max(args.requests * 2, 10)
+        close_phase = run_reuse_phase(handle, 2, reuse_iterations, pooled=False)
+        ka_phase = run_reuse_phase(handle, 2, reuse_iterations, pooled=True)
+        for phase in (close_phase, ka_phase):
+            if phase["errors"]:
+                failures.append(
+                    f"reuse-phase ({phase['mode']}) errors: {phase['errors']}"
+                )
 
-        threads = [
-            threading.Thread(target=worker, args=(name,))
-            for name in DATASETS
-            for _ in range(args.clients)
-        ]
-        t_load = time.perf_counter()
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-        load_wall = time.perf_counter() - t_load
-
-        total_requests = sum(len(v) for v in latencies.values())
-        if any(errors.values()):
-            failures.append(f"load-phase errors: {errors}")
+        # The whole point of keep-alive: far fewer connections than
+        # requests, and a lower mean per-request wall time once setup
+        # is amortised.
+        if ka_phase["requests"] and not (
+            ka_phase["connections_opened"] < ka_phase["requests"]
+        ):
+            failures.append(
+                "keep-alive did not reuse connections: "
+                f"{ka_phase['connections_opened']} opened for "
+                f"{ka_phase['requests']} requests"
+            )
+        ka_mean = ka_phase["latency_ms"]["mean"]
+        close_mean = close_phase["latency_ms"]["mean"]
+        if ka_phase["requests"] and close_phase["requests"] and ka_mean >= close_mean:
+            failures.append(
+                "keep-alive mean latency did not beat Connection: close "
+                f"({ka_mean:.3f} ms >= {close_mean:.3f} ms)"
+            )
 
         # -- overload: prove the admission bound rejects, not buffers -
         shard = handle.app.registry.get("social")
@@ -172,41 +357,42 @@ def main(argv=None) -> int:
         else:
             try:
                 for _ in range(5):
-                    status, _latency, _end = _query_once(handle, "social")
+                    status, _latency, _end = _query_once(admin, "social")
                     if status == 429:
                         rejected += 1
             finally:
                 shard.admission.release(held)
         if rejected != 5:
             failures.append(f"expected 5 overload rejections, saw {rejected}")
-        status, _latency, end = _query_once(handle, "social")
+        status, _latency, end = _query_once(admin, "social")
         if status != 200:
             failures.append(f"post-overload query failed: HTTP {status}")
 
-        # -- per-shard statistics -------------------------------------
-        status, data = _request(handle.host, handle.port, "GET", "/stats")
+        # -- per-shard and connection statistics ----------------------
+        status, data = admin.request("GET", "/stats")
         stats = json.loads(data) if status == 200 else {}
         shards = stats.get("shards", {})
-        if set(shards) != set(DATASETS):
-            failures.append(f"expected shards {set(DATASETS)}, got {set(shards)}")
+        expected_shards = set(DATASETS) | {"sweep"}
+        if set(shards) != expected_shards:
+            failures.append(f"expected shards {expected_shards}, got {set(shards)}")
+        server_connections = stats.get("server", {}).get("connections", {})
+        if not server_connections.get("keepalive_reuses"):
+            failures.append(
+                f"server saw no keep-alive reuse: {server_connections}"
+            )
 
         per_dataset = {}
-        for name, values in latencies.items():
-            values = sorted(values)
+        for name, values in load_phase["latencies"].items():
             per_dataset[name] = {
                 "requests": len(values),
-                "errors": errors[name],
+                "errors": load_phase["errors"][name],
                 "warmup_seconds": build_seconds.get(name),
-                "latency_ms": {
-                    "mean": statistics.fmean(values) * 1e3 if values else 0.0,
-                    "p50": _percentile(values, 0.50) * 1e3,
-                    "p90": _percentile(values, 0.90) * 1e3,
-                    "p99": _percentile(values, 0.99) * 1e3,
-                    "max": values[-1] * 1e3 if values else 0.0,
-                },
+                "latency_ms": _latency_ms(values),
                 "shard": shards.get(name, {}),
             }
 
+        total_requests = load_phase["requests"]
+        load_wall = load_phase["wall_seconds"]
         payload = {
             "bench": "serve",
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -223,6 +409,16 @@ def main(argv=None) -> int:
                 "total_requests": total_requests,
                 "throughput_rps": total_requests / load_wall if load_wall else 0.0,
             },
+            "connection_reuse": {
+                mode["mode"]: {
+                    "requests": mode["requests"],
+                    "connections_opened": mode["connections_opened"],
+                    "wall_seconds": mode["wall_seconds"],
+                    "latency_ms": mode["latency_ms"],
+                }
+                for mode in (close_phase, ka_phase)
+            },
+            "server_connections": server_connections,
             "overload": {
                 "burst": 5,
                 "rejected_429": rejected,
@@ -230,6 +426,13 @@ def main(argv=None) -> int:
             "datasets": per_dataset,
             "failures": failures,
         }
+        payload["connection_reuse"]["reuse_ratio"] = (
+            ka_phase["requests"] / ka_phase["connections_opened"]
+            if ka_phase["connections_opened"] else 0.0
+        )
+        payload["connection_reuse"]["mean_latency_improvement"] = (
+            1.0 - ka_mean / close_mean if close_mean else 0.0
+        )
         with open(args.out, "w") as fh:
             json.dump(payload, fh, indent=2)
 
@@ -243,11 +446,19 @@ def main(argv=None) -> int:
                 f"builds {cache.get('builds', '?')}"
             )
         print(
+            f"keep-alive: {ka_phase['requests']} req over "
+            f"{ka_phase['connections_opened']} conns "
+            f"({payload['connection_reuse']['reuse_ratio']:.1f}x reuse)  "
+            f"mean {ka_mean:.2f} ms  vs close {close_mean:.2f} ms  "
+            f"({payload['connection_reuse']['mean_latency_improvement']:+.1%})"
+        )
+        print(
             f"serve bench: {total_requests} requests in {load_wall:.2f}s "
             f"({payload['load']['throughput_rps']:.1f} req/s), "
             f"{rejected}/5 overload rejections -> {args.out}"
         )
     finally:
+        admin.close()
         try:
             handle.stop()
         except Exception as exc:  # noqa: BLE001

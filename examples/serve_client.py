@@ -3,9 +3,11 @@
 
 Registers a dataset, streams a durable-pattern query batch line by
 line (NDJSON), and reads the per-shard cache statistics — the complete
-client lifecycle of :mod:`repro.serve`.  If no server is listening on
-``--host``/``--port``, the example boots one in-process so it is
-self-contained:
+client lifecycle of :mod:`repro.serve` — all over **one keep-alive
+connection**: the server holds HTTP/1.1 connections open, so a client
+sweeping many τ thresholds pays TCP setup once, not per request.  If
+no server is listening on ``--host``/``--port``, the example boots one
+in-process so it is self-contained:
 
     python examples/serve_client.py
     # ...or against a server you started yourself:
@@ -18,19 +20,26 @@ import http.client
 import json
 
 
-def request(host, port, method, path, body=None, timeout=30):
+def probe(host, port, timeout=2):
+    """One throwaway health check to see whether a server is up."""
     conn = http.client.HTTPConnection(host, port, timeout=timeout)
     try:
-        conn.request(
-            method,
-            path,
-            body=json.dumps(body) if body is not None else None,
-            headers={"Content-Type": "application/json"},
-        )
-        resp = conn.getresponse()
-        return resp.status, resp.read()
+        conn.request("GET", "/health")
+        conn.getresponse().read()
     finally:
         conn.close()
+
+
+def request(conn, method, path, body=None):
+    """One request on the shared keep-alive connection."""
+    conn.request(
+        method,
+        path,
+        body=json.dumps(body) if body is not None else None,
+        headers={"Content-Type": "application/json"},
+    )
+    resp = conn.getresponse()
+    return resp.status, resp.read()
 
 
 def main() -> int:
@@ -41,7 +50,7 @@ def main() -> int:
 
     host, port, handle = args.host, args.port, None
     try:
-        request(host, port, "GET", "/health", timeout=2)
+        probe(host, port)
     except OSError:
         print(f"no server on {host}:{port}; booting one in-process")
         from repro.serve import start_server_thread
@@ -49,10 +58,14 @@ def main() -> int:
         handle = start_server_thread()
         host, port = handle.host, handle.port
 
+    # Every request below rides this one connection (HTTP/1.1
+    # keep-alive): the server answers and waits for the next request
+    # instead of closing the socket.
+    conn = http.client.HTTPConnection(host, port, timeout=30)
     try:
         # -- register a dataset (its own shard: cache + workers + queue)
         status, data = request(
-            host, port, "POST", "/datasets",
+            conn, "POST", "/datasets",
             {"name": "forum", "dataset": {"workload": "social", "n": 300, "seed": 7},
              "replace": True},
         )
@@ -61,7 +74,7 @@ def main() -> int:
         # -- stream a mixed batch: results arrive one NDJSON line at a
         #    time, per τ, so nothing is buffered server-side.
         status, data = request(
-            host, port, "POST", "/query",
+            conn, "POST", "/query",
             {
                 "dataset": "forum",
                 "queries": [
@@ -88,8 +101,8 @@ def main() -> int:
                     f"{doc['wall_seconds'] * 1e3:.1f} ms"
                 )
 
-        # -- per-shard statistics
-        status, data = request(host, port, "GET", "/stats")
+        # -- per-shard statistics plus the server's connection counters
+        status, data = request(conn, "GET", "/stats")
         stats = json.loads(data)
         shard = stats["shards"]["forum"]
         cache = shard["cache"]
@@ -99,7 +112,14 @@ def main() -> int:
             f"{cache['hits']} hits / {cache['builds']} builds, "
             f"{shard['in_flight']} in flight (limit {shard['queue_limit']})"
         )
+        connections = stats["server"]["connections"]
+        print(
+            f"connections: {connections['opened']} opened, "
+            f"{connections['keepalive_reuses']} keep-alive reuses — "
+            "register, query and stats all rode this one socket"
+        )
     finally:
+        conn.close()
         if handle is not None:
             handle.stop()
             print("in-process server stopped")

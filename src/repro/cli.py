@@ -138,6 +138,14 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="NAME=SPEC",
                        help="register a dataset at boot; SPEC is the JSON "
                             "accepted by POST /datasets (repeatable)")
+    p_srv.add_argument("--idle-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="close a keep-alive connection idle for this long "
+                            "(default: 30)")
+    p_srv.add_argument("--max-requests-per-conn", type=int, default=None,
+                       metavar="N",
+                       help="requests served on one connection before the "
+                            "server closes it (default: 1000)")
     return parser
 
 
@@ -287,6 +295,11 @@ def _run_serve(args: argparse.Namespace, out) -> int:
         )
         out.flush()
 
+    keepalive_kwargs = {}
+    if args.idle_timeout is not None:
+        keepalive_kwargs["idle_timeout"] = args.idle_timeout
+    if args.max_requests_per_conn is not None:
+        keepalive_kwargs["max_requests_per_connection"] = args.max_requests_per_conn
     run_server(
         host=args.host,
         port=args.port,
@@ -295,6 +308,7 @@ def _run_serve(args: argparse.Namespace, out) -> int:
         queue_limit=args.queue_limit,
         datasets=_parse_boot_datasets(args.dataset),
         announce=announce,
+        **keepalive_kwargs,
     )
     print("server stopped", file=out)
     return 0

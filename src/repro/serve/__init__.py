@@ -12,7 +12,9 @@ serves many callers.  This package is that process, stdlib-only:
   all-or-nothing batch admission (full queue ⇒ 429, never unbounded
   buffering);
 * :mod:`~repro.serve.http` / :mod:`~repro.serve.server` — HTTP/1.1
-  framing and the NDJSON streaming protocol (``POST /datasets``,
+  framing with **persistent connections** (keep-alive request loop,
+  idle timeout, per-connection request cap, graceful drain on
+  shutdown) and the NDJSON streaming protocol (``POST /datasets``,
   ``POST /query``, ``GET /stats``, ``POST /shutdown``).
 
 Start one with ``python -m repro serve`` or, in-process,
@@ -29,7 +31,15 @@ from .registry import (
     DuplicateDatasetError,
     UnknownDatasetError,
 )
-from .server import ServeApp, ServerHandle, run_server, start_server_thread
+from .server import (
+    DEFAULT_DRAIN_TIMEOUT,
+    DEFAULT_IDLE_TIMEOUT,
+    DEFAULT_MAX_REQUESTS_PER_CONNECTION,
+    ServeApp,
+    ServerHandle,
+    run_server,
+    start_server_thread,
+)
 
 __all__ = [
     "AdmissionQueue",
@@ -41,6 +51,9 @@ __all__ = [
     "UnknownDatasetError",
     "DEFAULT_MAX_ENTRIES",
     "DEFAULT_QUEUE_LIMIT",
+    "DEFAULT_IDLE_TIMEOUT",
+    "DEFAULT_MAX_REQUESTS_PER_CONNECTION",
+    "DEFAULT_DRAIN_TIMEOUT",
     "ServeApp",
     "ServerHandle",
     "run_server",

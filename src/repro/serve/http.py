@@ -3,10 +3,25 @@
 Just enough protocol for the serving front end: request-line + header
 parsing with hard size limits, ``Content-Length`` bodies, JSON replies,
 and chunked transfer encoding for NDJSON streaming (so a response's
-size never has to be known — or buffered — up front).  Every connection
-carries exactly one request (``Connection: close``), which keeps the
-state machine trivial; the closed-loop bench shows this is nowhere near
-the bottleneck at the scales the solvers serve.
+size never has to be known — or buffered — up front).
+
+Connections are **persistent by default** (HTTP/1.1 keep-alive): the
+server's connection loop calls :func:`read_request` repeatedly on one
+socket, and :func:`want_keep_alive` implements the negotiation rules —
+HTTP/1.1 keeps the connection unless the client says ``Connection:
+close``; HTTP/1.0 closes unless the client says ``Connection:
+keep-alive``.  Reuse makes framing correctness load-bearing, so every
+response states its framing explicitly: an exact ``Content-Length`` or
+a chunked body ending in the terminal ``0\\r\\n\\r\\n`` (never a stray
+byte after it), plus an explicit ``Connection: keep-alive``/``close``
+header.  Requests are fully consumed (``readexactly`` of the declared
+body length) before the next one is parsed, and anything that leaves
+the request boundary ambiguous — a malformed head, duplicate or
+conflicting ``Content-Length`` headers, ``Content-Length`` combined
+with ``Transfer-Encoding`` — is rejected with a 400-class
+:class:`ProtocolError` that the server answers with ``Connection:
+close``: after a framing error, reusing the socket would be request
+smuggling.
 """
 
 from __future__ import annotations
@@ -20,11 +35,14 @@ __all__ = [
     "Request",
     "ProtocolError",
     "read_request",
+    "want_keep_alive",
     "send_json",
-    "start_chunked",
+    "start_stream",
     "send_chunk",
     "end_chunked",
     "STATUS_REASONS",
+    "MAX_HEADER_BYTES",
+    "MAX_BODY_BYTES",
 ]
 
 #: Reason phrases for the statuses the server emits.
@@ -40,6 +58,9 @@ STATUS_REASONS = {
     500: "Internal Server Error",
 }
 
+#: Also the ``limit=`` the server passes to :func:`asyncio.start_server`,
+#: so an oversized head overruns the reader at 16 KiB instead of being
+#: buffered up to asyncio's 64 KiB default before the check runs.
 MAX_HEADER_BYTES = 16 * 1024
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
@@ -60,6 +81,7 @@ class Request:
     path: str
     headers: Dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+    version: str = "HTTP/1.1"
 
     def json(self) -> Any:
         """Decode the body as JSON (``{}`` for an empty body)."""
@@ -71,10 +93,29 @@ class Request:
             raise ProtocolError(400, f"request body is not valid JSON: {exc}") from exc
 
 
-async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
-    """Parse one request; ``None`` if the peer closed before sending one."""
+async def read_request(
+    reader: asyncio.StreamReader,
+    head_timeout: Optional[float] = None,
+    body_timeout: Optional[float] = None,
+) -> Optional[Request]:
+    """Parse one request; ``None`` if the peer closed before sending one.
+
+    The declared body is always consumed in full, so on a keep-alive
+    connection the stream is positioned exactly at the next request
+    head when this returns.  ``head_timeout`` bounds how long the
+    connection may sit without delivering a complete request head (the
+    keep-alive idle window — raises :class:`asyncio.TimeoutError` so
+    the caller can close silently); ``body_timeout`` separately bounds
+    body receipt, so a slow-but-progressing large upload is never
+    mistaken for an idle connection (it raises a 400
+    :class:`ProtocolError` instead).
+    """
     try:
-        head = await reader.readuntil(b"\r\n\r\n")
+        head_read = reader.readuntil(b"\r\n\r\n")
+        if head_timeout is not None:
+            head = await asyncio.wait_for(head_read, head_timeout)
+        else:
+            head = await head_read
     except asyncio.IncompleteReadError as exc:
         if not exc.partial:
             return None
@@ -88,7 +129,7 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
     parts = lines[0].split()
     if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
         raise ProtocolError(400, f"malformed request line: {lines[0]!r}")
-    method, target, _version = parts
+    method, target, version = parts
     path = target.split("?", 1)[0]
 
     headers: Dict[str, str] = {}
@@ -98,24 +139,65 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
         name, sep, value = line.partition(":")
         if not sep:
             raise ProtocolError(400, f"malformed header line: {line!r}")
-        headers[name.strip().lower()] = value.strip()
+        key = name.strip().lower()
+        value = value.strip()
+        if key in headers:
+            if key == "content-length":
+                # Duplicate or conflicting lengths desynchronize framing
+                # on a reused connection (request-smuggling class).
+                raise ProtocolError(400, "duplicate Content-Length headers")
+            headers[key] = f"{headers[key]}, {value}"
+        else:
+            headers[key] = value
 
-    if "chunked" in headers.get("transfer-encoding", "").lower():
-        raise ProtocolError(400, "chunked request bodies are not supported")
+    if "transfer-encoding" in headers:
+        if "content-length" in headers:
+            raise ProtocolError(
+                400, "Content-Length with Transfer-Encoding is not allowed"
+            )
+        raise ProtocolError(
+            400,
+            "Transfer-Encoding request bodies are not supported; "
+            "send a Content-Length body",
+        )
     length_header = headers.get("content-length", "0")
-    try:
-        length = int(length_header)
-    except ValueError:
-        raise ProtocolError(400, f"bad Content-Length: {length_header!r}") from None
-    if length < 0 or length > MAX_BODY_BYTES:
+    if not (length_header.isascii() and length_header.isdigit()):
+        raise ProtocolError(400, f"bad Content-Length: {length_header!r}")
+    length = int(length_header)
+    if length > MAX_BODY_BYTES:
         raise ProtocolError(413, f"body of {length} bytes exceeds the limit")
     body = b""
     if length:
         try:
-            body = await reader.readexactly(length)
+            body_read = reader.readexactly(length)
+            if body_timeout is not None:
+                body = await asyncio.wait_for(body_read, body_timeout)
+            else:
+                body = await body_read
         except asyncio.IncompleteReadError as exc:
             raise ProtocolError(400, "request body shorter than Content-Length") from exc
-    return Request(method=method.upper(), path=path, headers=headers, body=body)
+        except asyncio.TimeoutError as exc:
+            raise ProtocolError(400, "timed out receiving the request body") from exc
+    return Request(
+        method=method.upper(), path=path, headers=headers, body=body,
+        version=version.upper(),
+    )
+
+
+def want_keep_alive(request: Request) -> bool:
+    """Should the connection stay open after answering ``request``?
+
+    HTTP/1.1: persistent unless the client sent ``Connection: close``.
+    HTTP/1.0: closed unless the client sent ``Connection: keep-alive``.
+    """
+    tokens = {
+        token.strip().lower()
+        for token in request.headers.get("connection", "").split(",")
+        if token.strip()
+    }
+    if request.version == "HTTP/1.0":
+        return "keep-alive" in tokens
+    return "close" not in tokens
 
 
 def _status_line(status: int) -> bytes:
@@ -128,6 +210,7 @@ async def send_json(
     status: int,
     payload: Any,
     extra_headers: Optional[Dict[str, str]] = None,
+    close: bool = True,
 ) -> None:
     """Send a complete JSON response (non-streaming endpoints)."""
     body = (json.dumps(payload) + "\n").encode("utf-8")
@@ -135,7 +218,7 @@ async def send_json(
     headers = {
         "Content-Type": "application/json",
         "Content-Length": str(len(body)),
-        "Connection": "close",
+        "Connection": "close" if close else "keep-alive",
         **(extra_headers or {}),
     }
     for name, value in headers.items():
@@ -145,30 +228,48 @@ async def send_json(
     await writer.drain()
 
 
-async def start_chunked(
+async def start_stream(
     writer: asyncio.StreamWriter, status: int = 200,
     content_type: str = "application/x-ndjson",
+    extra_headers: Optional[Dict[str, str]] = None,
+    close: bool = True,
+    chunked: bool = True,
 ) -> None:
-    """Open a chunked response; follow with :func:`send_chunk` calls."""
+    """Open a streamed response; follow with :func:`send_chunk` calls.
+
+    ``chunked=True`` (HTTP/1.1) uses chunked transfer encoding, so the
+    connection can be reused after the terminal 0-chunk.  ``chunked=
+    False`` is for HTTP/1.0 peers, which must never be sent chunked
+    framing (RFC 7230 §3.3.1): the body is raw bytes delimited by
+    connection close, so the caller must also pass ``close=True``.
+    """
     writer.write(_status_line(status))
-    writer.write(
-        (
-            f"Content-Type: {content_type}\r\n"
-            "Transfer-Encoding: chunked\r\n"
-            "Connection: close\r\n\r\n"
-        ).encode("latin-1")
-    )
+    headers = {
+        "Content-Type": content_type,
+        "Connection": "close" if close else "keep-alive",
+        **(extra_headers or {}),
+    }
+    if chunked:
+        headers["Transfer-Encoding"] = "chunked"
+    for name, value in headers.items():
+        writer.write(f"{name}: {value}\r\n".encode("latin-1"))
+    writer.write(b"\r\n")
     await writer.drain()
 
 
-async def send_chunk(writer: asyncio.StreamWriter, payload: Any) -> None:
-    """Send one NDJSON line as one HTTP chunk (flushed immediately)."""
+async def send_chunk(
+    writer: asyncio.StreamWriter, payload: Any, chunked: bool = True
+) -> None:
+    """Send one NDJSON line (one HTTP chunk if ``chunked``), flushed."""
     line = (json.dumps(payload) + "\n").encode("utf-8")
-    writer.write(f"{len(line):x}\r\n".encode("latin-1") + line + b"\r\n")
+    if chunked:
+        writer.write(f"{len(line):x}\r\n".encode("latin-1") + line + b"\r\n")
+    else:
+        writer.write(line)
     await writer.drain()
 
 
 async def end_chunked(writer: asyncio.StreamWriter) -> None:
-    """Terminate a chunked response."""
+    """Terminate a chunked response (exactly ``0 CRLF CRLF``, no more)."""
     writer.write(b"0\r\n\r\n")
     await writer.drain()

@@ -77,7 +77,9 @@ class DatasetShard:
             max_workers=self.workers, thread_name_prefix=f"shard-{name}"
         )
         self.admission = AdmissionQueue(queue_limit)
-        self.created_at = time.time()
+        # monotonic: uptime must survive wall-clock steps (NTP, DST,
+        # manual adjustment) without jumping or going negative.
+        self.created_monotonic = time.monotonic()
         self._lock = threading.Lock()
         self._queries_total = 0
         self._errors_total = 0
@@ -116,7 +118,7 @@ class DatasetShard:
             "rejected": self.admission.rejected,
             "queries_total": queries_total,
             "errors_total": errors_total,
-            "uptime_seconds": time.time() - self.created_at,
+            "uptime_seconds": time.monotonic() - self.created_monotonic,
         }
 
     def close(self) -> None:

@@ -12,8 +12,18 @@ protocol:
   query its ``records`` lines (one per τ, so a huge τ-sweep is never
   buffered as one document) and a ``result`` status line, then a
   ``batch-end`` line with per-batch cache stats;
-* ``GET  /stats``    — per-shard cache/admission statistics;
-* ``POST /shutdown`` — graceful stop (CI smoke asserts a clean exit).
+* ``GET  /stats``    — per-shard cache/admission statistics plus the
+  server's connection counters;
+* ``POST /shutdown`` — graceful stop: new connections are refused,
+  in-flight requests drain, idle keep-alive connections are closed.
+
+Connections are persistent (HTTP/1.1 keep-alive):
+:meth:`ServeApp.handle_connection` is a request loop that serves many
+requests per socket, bounded by an idle timeout and a per-connection
+request cap, honouring ``Connection: close`` and HTTP/1.0 semantics.
+A protocol error closes the connection (framing can no longer be
+trusted); a truncated chunked stream marks the connection broken so a
+later response can never be spliced into the half-written body.
 
 Every query failure is isolated per the engine contract: an erroring
 query emits ``{"type": "result", "ok": false, "error": ...}`` and its
@@ -25,7 +35,8 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
-from typing import Any, Dict, Mapping, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional
 
 from ..engine.planner import plan_batch
 from ..engine.results import QueryResult, record_to_dict
@@ -33,13 +44,15 @@ from ..engine.spec import QuerySpec
 from ..errors import ValidationError
 from .bridge import OverloadedError, submit_plans
 from .http import (
+    MAX_HEADER_BYTES,
     ProtocolError,
     Request,
     end_chunked,
     read_request,
     send_chunk,
     send_json,
-    start_chunked,
+    start_stream,
+    want_keep_alive,
 )
 from .registry import (
     DEFAULT_MAX_ENTRIES,
@@ -49,7 +62,55 @@ from .registry import (
     UnknownDatasetError,
 )
 
-__all__ = ["ServeApp", "ServerHandle", "run_server", "start_server_thread"]
+__all__ = [
+    "ConnectionState",
+    "ServeApp",
+    "ServerHandle",
+    "run_server",
+    "start_server_thread",
+    "DEFAULT_IDLE_TIMEOUT",
+    "DEFAULT_MAX_REQUESTS_PER_CONNECTION",
+    "DEFAULT_DRAIN_TIMEOUT",
+    "DEFAULT_BODY_TIMEOUT",
+]
+
+#: Seconds a keep-alive connection may sit idle between requests before
+#: the server closes it.
+DEFAULT_IDLE_TIMEOUT = 30.0
+
+#: Requests served on one connection before the server closes it (bounds
+#: how long a single client can pin one connection's resources).
+DEFAULT_MAX_REQUESTS_PER_CONNECTION = 1000
+
+#: Seconds a graceful shutdown waits for in-flight requests to finish
+#: before cancelling them.
+DEFAULT_DRAIN_TIMEOUT = 5.0
+
+#: Seconds allowed to receive a declared request body.  Separate from —
+#: and much larger than — the idle timeout, so a slow-but-progressing
+#: large upload is never mistaken for an idle connection.
+DEFAULT_BODY_TIMEOUT = 300.0
+
+
+@dataclass
+class ConnectionState:
+    """Per-request connection bookkeeping threaded through dispatch.
+
+    ``keep_alive`` is the negotiated decision for the response being
+    written (it picks the ``Connection`` header); ``broken`` is set
+    when a streamed response was truncated mid-body, after which no
+    further bytes may be written on the socket.
+    """
+
+    keep_alive: bool = False
+    keep_alive_header: Optional[str] = None
+    broken: bool = False
+
+    def response_headers(self) -> Dict[str, str]:
+        """The negotiated ``Keep-Alive`` advertisement, when applicable."""
+        if self.keep_alive and self.keep_alive_header:
+            return {"Keep-Alive": self.keep_alive_header}
+        return {}
 
 
 class ServeApp:
@@ -61,67 +122,166 @@ class ServeApp:
         max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
         max_workers: Optional[int] = None,
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
+        max_requests_per_connection: int = DEFAULT_MAX_REQUESTS_PER_CONNECTION,
+        drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
     ) -> None:
+        if idle_timeout <= 0:
+            raise ValidationError(
+                f"idle_timeout must be > 0 seconds, got {idle_timeout!r}"
+            )
+        if max_requests_per_connection < 1:
+            raise ValidationError(
+                "max_requests_per_connection must be >= 1, got "
+                f"{max_requests_per_connection!r}"
+            )
         self.registry = registry if registry is not None else DatasetRegistry(
             max_entries=max_entries,
             max_workers=max_workers,
             queue_limit=queue_limit,
         )
-        self.started_at = time.time()
+        self.idle_timeout = idle_timeout
+        self.max_requests_per_connection = max_requests_per_connection
+        self.drain_timeout = drain_timeout
+        self.body_timeout = DEFAULT_BODY_TIMEOUT
+        # monotonic: wall-clock steps (NTP, DST, manual) must never make
+        # the reported uptime jump or go negative.
+        self.started_monotonic = time.monotonic()
         self.requests_total = 0
+        self.connections_opened = 0
+        self.connections_active = 0
+        self.keepalive_reuses = 0
         self._shutdown = asyncio.Event()
+        #: Live connection task -> is it dispatching a request right now?
+        #: (Only touched from the event loop; drives graceful drain.)
+        self._conn_busy: Dict["asyncio.Task[None]", bool] = {}
 
     # ------------------------------------------------------------------
     async def handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        """One connection, one request (``Connection: close``)."""
+        """Serve requests on one connection until it should close.
+
+        The keep-alive state machine: read a request (bounded by the
+        idle timeout), negotiate persistence per HTTP/1.1 rules and the
+        per-connection request cap, dispatch, repeat.  The loop exits on
+        client EOF, ``Connection: close``, the cap, idle timeout,
+        protocol errors (framing no longer trustworthy), a broken
+        stream, or server shutdown.
+        """
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_busy[task] = False
+        self.connections_opened += 1
+        self.connections_active += 1
+        served = 0
         try:
-            try:
-                request = await read_request(reader)
-            except ProtocolError as exc:
-                await send_json(writer, exc.status, {"error": str(exc)})
-                return
-            if request is None:
-                return
-            self.requests_total += 1
-            try:
-                await self._dispatch(request, writer)
-            except ProtocolError as exc:
-                await send_json(writer, exc.status, {"error": str(exc)})
-            except ValidationError as exc:
-                await send_json(writer, 400, {"error": str(exc)})
-            except UnknownDatasetError as exc:
-                await send_json(writer, 404, {"error": str(exc)})
-            except OverloadedError as exc:
-                await send_json(
-                    writer,
-                    429,
-                    {"error": str(exc), "retry_after": exc.retry_after},
-                    extra_headers={"Retry-After": str(int(exc.retry_after) or 1)},
+            while not self._shutdown.is_set():
+                try:
+                    # head_timeout is the keep-alive idle window; the
+                    # body gets its own (much larger) bound inside
+                    # read_request, so a slow large upload that is
+                    # still making progress is not reaped as idle.
+                    request = await read_request(
+                        reader,
+                        head_timeout=self.idle_timeout,
+                        body_timeout=self.body_timeout,
+                    )
+                except asyncio.TimeoutError:
+                    break  # idle past the keep-alive window
+                except ProtocolError as exc:
+                    # Framing is unreliable past this point (ambiguous
+                    # lengths, unread body bytes): answer and close.
+                    await send_json(
+                        writer, exc.status, {"error": str(exc)}, close=True
+                    )
+                    break
+                if request is None:
+                    break  # clean EOF between requests
+                served += 1
+                self.requests_total += 1
+                if served > 1:
+                    self.keepalive_reuses += 1
+                state = ConnectionState(
+                    keep_alive=(
+                        want_keep_alive(request)
+                        and served < self.max_requests_per_connection
+                        and not self._shutdown.is_set()
+                    ),
                 )
-            except Exception as exc:  # noqa: BLE001 - last-resort 500
-                await send_json(
-                    writer, 500, {"error": f"{type(exc).__name__}: {exc}"}
-                )
+                if state.keep_alive:
+                    state.keep_alive_header = (
+                        f"timeout={int(self.idle_timeout)}, "
+                        f"max={self.max_requests_per_connection - served}"
+                    )
+                if task is not None:
+                    self._conn_busy[task] = True
+                try:
+                    await self._dispatch(request, writer, state)
+                except ProtocolError as exc:
+                    await self._respond(writer, state, exc.status, {"error": str(exc)})
+                except ValidationError as exc:
+                    await self._respond(writer, state, 400, {"error": str(exc)})
+                except UnknownDatasetError as exc:
+                    await self._respond(writer, state, 404, {"error": str(exc)})
+                except OverloadedError as exc:
+                    await self._respond(
+                        writer,
+                        state,
+                        429,
+                        {"error": str(exc), "retry_after": exc.retry_after},
+                        extra_headers={"Retry-After": str(int(exc.retry_after) or 1)},
+                    )
+                except Exception as exc:  # noqa: BLE001 - last-resort 500
+                    await self._respond(
+                        writer, state, 500, {"error": f"{type(exc).__name__}: {exc}"}
+                    )
+                finally:
+                    if task is not None:
+                        self._conn_busy[task] = False
+                if state.broken or not state.keep_alive:
+                    break
         except (ConnectionError, asyncio.TimeoutError):
             pass  # peer went away; admission slots are freed by callbacks
         finally:
+            self.connections_active -= 1
+            if task is not None:
+                self._conn_busy.pop(task, None)
             try:
                 writer.close()
                 await writer.wait_closed()
             except (ConnectionError, asyncio.TimeoutError):
                 pass
 
-    async def _dispatch(self, request: Request, writer: asyncio.StreamWriter) -> None:
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        state: ConnectionState,
+        status: int,
+        payload: Any,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """One complete JSON response with the negotiated framing headers."""
+        headers = {**state.response_headers(), **(extra_headers or {})}
+        await send_json(
+            writer, status, payload,
+            extra_headers=headers, close=not state.keep_alive,
+        )
+
+    async def _dispatch(
+        self, request: Request, writer: asyncio.StreamWriter, state: ConnectionState
+    ) -> None:
         route = (request.method, request.path)
         if route == ("GET", "/health"):
-            await send_json(writer, 200, {"ok": True, "datasets": len(self.registry)})
+            await self._respond(
+                writer, state, 200, {"ok": True, "datasets": len(self.registry)}
+            )
         elif route == ("GET", "/stats"):
-            await send_json(writer, 200, self.stats())
+            await self._respond(writer, state, 200, self.stats())
         elif route == ("GET", "/datasets"):
-            await send_json(
+            await self._respond(
                 writer,
+                state,
                 200,
                 {
                     "datasets": [
@@ -131,11 +291,12 @@ class ServeApp:
                 },
             )
         elif route == ("POST", "/datasets"):
-            await self._handle_register(request, writer)
+            await self._handle_register(request, writer, state)
         elif route == ("POST", "/query"):
-            await self._handle_query(request, writer)
+            await self._handle_query(request, writer, state)
         elif route == ("POST", "/shutdown"):
-            await send_json(writer, 200, {"ok": True, "stopping": True})
+            state.keep_alive = False
+            await self._respond(writer, state, 200, {"ok": True, "stopping": True})
             self._shutdown.set()
         elif request.path in ("/health", "/stats", "/datasets", "/query", "/shutdown"):
             raise ProtocolError(405, f"{request.method} not allowed on {request.path}")
@@ -144,7 +305,7 @@ class ServeApp:
 
     # ------------------------------------------------------------------
     async def _handle_register(
-        self, request: Request, writer: asyncio.StreamWriter
+        self, request: Request, writer: asyncio.StreamWriter, state: ConnectionState
     ) -> None:
         doc = request.json()
         if not isinstance(doc, Mapping) or "name" not in doc or "dataset" not in doc:
@@ -171,12 +332,12 @@ class ServeApp:
                 ),
             )
         except DuplicateDatasetError as exc:
-            await send_json(writer, 409, {"error": str(exc)})
+            await self._respond(writer, state, 409, {"error": str(exc)})
             return
-        await send_json(writer, 201, {"registered": shard.describe()})
+        await self._respond(writer, state, 201, {"registered": shard.describe()})
 
     async def _handle_query(
-        self, request: Request, writer: asyncio.StreamWriter
+        self, request: Request, writer: asyncio.StreamWriter, state: ConnectionState
     ) -> None:
         doc = request.json()
         if not isinstance(doc, Mapping):
@@ -201,11 +362,23 @@ class ServeApp:
         before = shard.cache.stats.snapshot()
         futures = submit_plans(shard, plans)  # may raise OverloadedError → 429
 
+        chunked = request.version != "HTTP/1.0"
+        if not chunked:
+            # HTTP/1.0 clients must never be sent chunked framing (RFC
+            # 7230 §3.3.1): stream raw NDJSON delimited by connection
+            # close instead, so the connection cannot be kept alive.
+            state.keep_alive = False
         t0 = time.perf_counter()
-        await start_chunked(writer, 200)
+        await start_stream(
+            writer, 200,
+            extra_headers=state.response_headers() or None,
+            close=not state.keep_alive,
+            chunked=chunked,
+        )
         await send_chunk(
             writer,
             {"type": "batch-start", "dataset": name, "queries": len(plans)},
+            chunked=chunked,
         )
         n_errors = 0
         try:
@@ -214,7 +387,7 @@ class ServeApp:
                 if not result.ok:
                     n_errors += 1
                 for line in _result_lines(i, result, include_records):
-                    await send_chunk(writer, line)
+                    await send_chunk(writer, line, chunked=chunked)
             await send_chunk(
                 writer,
                 {
@@ -226,43 +399,111 @@ class ServeApp:
                     "wall_seconds": time.perf_counter() - t0,
                     "cache": shard.cache.stats.snapshot().since(before).as_dict(),
                 },
+                chunked=chunked,
             )
-            await end_chunked(writer)
+            if chunked:
+                await end_chunked(writer)
+        except asyncio.CancelledError:
+            # Cancelled mid-stream (shutdown drain, task teardown): the
+            # chunked body has no terminator, so this connection can
+            # never carry another response — mark it broken and close
+            # the transport *now* so no later write can interleave with
+            # the half-written stream, then let cancellation propagate.
+            state.broken = True
+            writer.close()
+            raise
         except Exception:
             # The response status line is already on the wire: a second
-            # one (send_json's 500) would splice a malformed response
-            # into the chunked body.  Whatever went wrong mid-stream —
+            # one (a 500 reply) would splice a malformed response into
+            # the chunked body.  Whatever went wrong mid-stream —
             # client hang-up, socket error, a worker torn down by
             # shutdown — the only sound move is to stop writing; the
             # truncated stream (no terminal 0-chunk) tells the client
             # the batch did not finish, and in-flight work still
             # completes on the shard executor, releasing admission via
-            # the done-callbacks.
-            pass
+            # the done-callbacks.  ``broken`` makes the connection loop
+            # close the socket instead of reusing it.
+            state.broken = True
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
         return {
             "server": {
-                "uptime_seconds": time.time() - self.started_at,
+                "uptime_seconds": time.monotonic() - self.started_monotonic,
                 "requests_total": self.requests_total,
                 "datasets": len(self.registry),
+                "connections": {
+                    "opened": self.connections_opened,
+                    "active": self.connections_active,
+                    "keepalive_reuses": self.keepalive_reuses,
+                    "idle_timeout_seconds": self.idle_timeout,
+                    "max_requests_per_connection": self.max_requests_per_connection,
+                },
             },
             "shards": self.registry.stats(),
         }
 
     async def serve(self, host: str, port: int) -> "asyncio.AbstractServer":
-        return await asyncio.start_server(self.handle_connection, host, port)
+        # limit= bounds the reader's buffer, so an oversized request head
+        # overruns readuntil() at MAX_HEADER_BYTES instead of sitting in
+        # asyncio's 64 KiB default buffer before our size check runs.
+        # (Bodies are unaffected: readexactly() drains past the limit.)
+        return await asyncio.start_server(
+            self.handle_connection, host, port, limit=MAX_HEADER_BYTES
+        )
 
-    async def run_until_shutdown(self, host: str, port: int) -> None:
-        """Serve until ``POST /shutdown`` (or cancellation), then clean up."""
+    async def _drain_connections(self) -> None:
+        """Finish in-flight requests, then cancel whatever remains.
+
+        Idle keep-alive connections (parked between requests) are
+        cancelled immediately — there is nothing to wait for.  Busy
+        connections get ``drain_timeout`` seconds to finish their
+        current response before being cancelled too.
+        """
+        busy, idle = [], []
+        for conn_task, is_busy in list(self._conn_busy.items()):
+            if conn_task.done():
+                continue
+            (busy if is_busy else idle).append(conn_task)
+        for conn_task in idle:
+            conn_task.cancel()
+        if busy:
+            _done, pending = await asyncio.wait(busy, timeout=self.drain_timeout)
+            for conn_task in pending:
+                conn_task.cancel()
+        leftovers = [t for t in (*idle, *busy) if not t.done()]
+        if leftovers:
+            await asyncio.wait(leftovers, timeout=1.0)
+
+    async def run_until_shutdown(
+        self,
+        host: str,
+        port: int,
+        on_bound: Optional[Callable[[str, int], None]] = None,
+    ) -> None:
+        """Serve until ``POST /shutdown`` (or cancellation), then clean up.
+
+        Shutdown is graceful: the listener closes first (no new
+        connections), open connections drain per
+        :meth:`_drain_connections`, and only then do the shard
+        executors stop.
+        """
         server = await self.serve(host, port)
+        if on_bound is not None:
+            sockets = server.sockets or ()
+            bound = sockets[0].getsockname()[:2] if sockets else (host, port)
+            on_bound(bound[0], bound[1])
         try:
             await self._shutdown.wait()
         finally:
             server.close()
-            await server.wait_closed()
-            self.registry.close()
+            try:
+                await self._drain_connections()
+                await server.wait_closed()
+            finally:
+                # Even if the drain itself is cancelled (Ctrl-C), the
+                # shard executors must still be torn down.
+                self.registry.close()
 
     def request_shutdown(self) -> None:
         """Thread-safe shutdown trigger for embedding runners."""
@@ -303,6 +544,9 @@ def run_server(
     max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
     max_workers: Optional[int] = None,
     queue_limit: int = DEFAULT_QUEUE_LIMIT,
+    idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
+    max_requests_per_connection: int = DEFAULT_MAX_REQUESTS_PER_CONNECTION,
+    drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
     datasets: Optional[Mapping[str, Mapping[str, Any]]] = None,
     announce=None,
 ) -> None:
@@ -312,25 +556,18 @@ def run_server(
         max_entries=max_entries,
         max_workers=max_workers,
         queue_limit=queue_limit,
+        idle_timeout=idle_timeout,
+        max_requests_per_connection=max_requests_per_connection,
+        drain_timeout=drain_timeout,
     )
     for name, spec in (datasets or {}).items():
         app.registry.register(name, spec)
 
-    async def _main() -> None:
-        server = await app.serve(host, port)
-        if announce is not None:
-            sockets = server.sockets or ()
-            bound = sockets[0].getsockname()[:2] if sockets else (host, port)
-            announce(bound[0], bound[1], app)
-        try:
-            await app._shutdown.wait()
-        finally:
-            server.close()
-            await server.wait_closed()
-            app.registry.close()
-
+    on_bound = None
+    if announce is not None:
+        on_bound = lambda h, p: announce(h, p, app)
     try:
-        asyncio.run(_main())
+        asyncio.run(app.run_until_shutdown(host, port, on_bound=on_bound))
     except KeyboardInterrupt:
         pass
 
@@ -370,6 +607,9 @@ def start_server_thread(
     max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
     max_workers: Optional[int] = None,
     queue_limit: int = DEFAULT_QUEUE_LIMIT,
+    idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
+    max_requests_per_connection: int = DEFAULT_MAX_REQUESTS_PER_CONNECTION,
+    drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
     boot_timeout: float = 15.0,
 ) -> ServerHandle:
     """Start a server on a daemon thread; returns once it is listening."""
@@ -378,27 +618,21 @@ def start_server_thread(
         max_entries=max_entries,
         max_workers=max_workers,
         queue_limit=queue_limit,
+        idle_timeout=idle_timeout,
+        max_requests_per_connection=max_requests_per_connection,
+        drain_timeout=drain_timeout,
     )
     booted = threading.Event()
     state: Dict[str, Any] = {}
 
     def _run() -> None:
-        async def _main() -> None:
-            server = await app.serve(host, port)
-            sockets = server.sockets or ()
-            bound = sockets[0].getsockname() if sockets else (host, port)
-            state["host"], state["port"] = bound[0], bound[1]
+        def on_bound(bound_host: str, bound_port: int) -> None:
+            state["host"], state["port"] = bound_host, bound_port
             state["loop"] = asyncio.get_running_loop()
             booted.set()
-            try:
-                await app._shutdown.wait()
-            finally:
-                server.close()
-                await server.wait_closed()
-                app.registry.close()
 
         try:
-            asyncio.run(_main())
+            asyncio.run(app.run_until_shutdown(host, port, on_bound=on_bound))
         except BaseException as exc:  # pragma: no cover - surfaced via boot
             state["error"] = exc
             booted.set()

@@ -3,7 +3,9 @@
 Drives a real in-process server over real sockets: register → query →
 stream → stats, per-query fault records in the NDJSON stream, bounded
 admission (429), shard isolation between datasets, and clean shutdown.
-Registry and bridge units are covered directly underneath.
+Registry and bridge units are covered directly underneath.  Keep-alive
+connection-loop behaviour (reuse, timeouts, framing rejections) lives
+in ``test_serve_keepalive.py``.
 """
 
 import asyncio
@@ -83,6 +85,14 @@ class TestProtocol:
     def test_health(self, server):
         status, doc = request_json(server, "GET", "/health")
         assert status == 200 and doc["ok"] is True
+
+    def test_stats_exposes_connection_counters(self, server):
+        status, doc = request_json(server, "GET", "/stats")
+        assert status == 200
+        connections = doc["server"]["connections"]
+        assert connections["opened"] >= 1
+        assert connections["active"] >= 0
+        assert doc["server"]["uptime_seconds"] >= 0
 
     def test_register_reports_identity(self, server):
         status, doc = request_json(
