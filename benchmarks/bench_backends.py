@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Per-backend build/query benchmark → ``BENCH_backends.json``.
+
+This is the calibration loop behind ``backend="auto"``: for every
+registered backend eligible for a (dataset shape, query kind) pair, the
+bench builds the index from scratch (no cache — builds are the point),
+times a τ-sweep query, fits cost-model coefficients from the raw
+measurements (:func:`repro.backends.cost.fit_coefficients`), and
+records what ``auto`` would choose per shape under both the shipped
+default coefficients and the freshly fitted ones.
+
+The output JSON is uploaded as a CI artifact next to ``BENCH_smoke.json``
+and ``BENCH_serve.json``; feed it back with
+``CostModel.from_bench(json.load(open("BENCH_backends.json")))`` to
+recalibrate a registry for your own hardware or data.
+
+Usage::
+
+    python benchmarks/bench_backends.py [--n 400] [--repeat 2]
+                                        [--out BENCH_backends.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+from repro.backends import CostModel, default_registry, fit_coefficients
+from repro.backends.cost import QueryFeatures
+from repro.datasets import workload_from_spec
+from repro.engine import QuerySpec
+
+#: Dataset shapes (≥ 2, per the acceptance criterion): a general ℓ2
+#: cloud and an ℓ∞ cloud where the exact backend competes too.
+SHAPES = [
+    {"name": "uniform-l2", "workload": "uniform", "metric": "l2", "seed": 0},
+    {"name": "uniform-linf", "workload": "uniform", "metric": "linf", "seed": 1},
+]
+
+#: One spec per index family; the τ-sweep sizes the per-report term.
+KIND_SPECS = [
+    {"kind": "triangles", "taus": [4.0, 8.0]},
+    {"kind": "pairs-sum", "taus": [6.0, 10.0]},
+    {"kind": "pairs-union", "taus": [6.0], "kappa": 3},
+    {"kind": "cliques", "taus": [4.0], "m": 3},
+]
+
+
+def _measure(builder, runner, taus, repeat: int):
+    """Best-of-``repeat`` build and query wall times (fresh build each)."""
+    build_s, query_s = float("inf"), float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        index = builder()
+        build_s = min(build_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        for tau in taus:
+            runner(index, tau)
+        query_s = min(query_s, time.perf_counter() - t0)
+    return build_s, query_s
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=400, help="points per shape")
+    parser.add_argument("--repeat", type=int, default=2,
+                        help="timing repetitions (best-of)")
+    parser.add_argument("--out", default="BENCH_backends.json")
+    args = parser.parse_args(argv)
+    if args.repeat < 1:
+        parser.error(f"--repeat must be >= 1, got {args.repeat}")
+    if args.n < 10:
+        parser.error(f"--n must be >= 10 for meaningful timings, got {args.n}")
+
+    registry = default_registry()
+    # The runner closure lives on the planner; reuse it via a plan so
+    # the bench exercises exactly the dispatch surface production uses.
+    from repro.engine.planner import _runner_for  # noqa: PLC2701 - bench-only
+
+    measurements = []
+    auto_choices = {}
+    for shape in SHAPES:
+        spec_src = {k: v for k, v in shape.items() if k != "name"}
+        tps = workload_from_spec({**spec_src, "n": args.n})
+        auto_choices[shape["name"]] = {}
+        for kind_spec in KIND_SPECS:
+            spec = QuerySpec(**kind_spec)
+            resolution = registry.resolve(spec, tps)
+            auto_choices[shape["name"]][spec.kind] = {
+                "chosen": resolution.name,
+                "reason": resolution.reason,
+                "estimated_costs": resolution.costs,
+            }
+            for descriptor in registry.serving(spec.kind):
+                if not descriptor.supports_metric(tps.metric):
+                    continue
+                build_s, query_s = _measure(
+                    descriptor.make_builder(spec, tps),
+                    _runner_for(spec),
+                    spec.taus,
+                    args.repeat,
+                )
+                row = {
+                    "shape": shape["name"],
+                    "kind": spec.kind,
+                    "backend": descriptor.name,
+                    "n": tps.n,
+                    "dim": tps.dim,
+                    "metric": tps.metric.name,
+                    "n_taus": len(spec.taus),
+                    "build_seconds": build_s,
+                    "query_seconds": query_s,
+                }
+                measurements.append(row)
+                print(
+                    f"{shape['name']:>13} {spec.kind:<11} {descriptor.name:<11}"
+                    f" build {build_s * 1e3:8.1f} ms  query {query_s * 1e3:8.1f} ms",
+                    file=sys.stderr,
+                )
+
+    fitted = fit_coefficients(measurements)
+    fitted_model = CostModel(fitted)
+    # Sanity gate: a fit that prices any backend at zero (or below)
+    # would make auto dispatch degenerate — fail CI loudly.
+    for name, coef in fitted.items():
+        if coef.build <= 0 or coef.query <= 0:
+            print(f"FAIL degenerate fit for {name}: {coef}", file=sys.stderr)
+            return 1
+
+    features = {
+        shape["name"]: QueryFeatures(n=args.n, dim=2, metric=shape["metric"])
+        for shape in SHAPES
+    }
+    payload = {
+        "bench": "backends",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "n": args.n,
+        "repeat": args.repeat,
+        "shapes": SHAPES,
+        "measurements": measurements,
+        "coefficients": {n: c.as_dict() for n, c in fitted.items()},
+        "default_coefficients": registry.cost_model.as_dict(),
+        "auto_choices": auto_choices,
+        "fitted_estimates": {
+            name: {
+                backend: fitted_model.estimate(backend, feats)
+                for backend in fitted
+            }
+            for name, feats in features.items()
+        },
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {args.out}: {len(measurements)} measurements, "
+          f"{len(fitted)} backends fitted")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,12 @@ from .errors import (
     StructureError,
     ValidationError,
 )
+from .backends import (
+    BackendDescriptor,
+    BackendRegistry,
+    CostModel,
+    default_registry,
+)
 from .temporal.interval import EMPTY_INTERVAL, Interval, intersect_many, union_length
 from .temporal.interval_set import IntervalSet
 from .types import PairRecord, PatternRecord, TemporalPointSet, TriangleRecord
@@ -67,6 +73,11 @@ __all__ = [
     "ReproError",
     "StructureError",
     "ValidationError",
+    # backend registry
+    "BackendDescriptor",
+    "BackendRegistry",
+    "CostModel",
+    "default_registry",
     # temporal primitives
     "EMPTY_INTERVAL",
     "Interval",

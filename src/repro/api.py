@@ -11,7 +11,8 @@ the engine directly (:func:`default_engine` or ``python -m repro batch``).
 
 from __future__ import annotations
 
-from typing import List
+import threading
+from typing import List, Optional
 
 from .engine import IndexCache, QueryEngine, QuerySpec
 from .types import PairRecord, TemporalPointSet, TriangleRecord
@@ -27,11 +28,25 @@ __all__ = [
 #: datasets in sequence evict least-recently-used preprocessing passes.
 _DEFAULT_CACHE_ENTRIES = 16
 
-_ENGINE = QueryEngine(cache=IndexCache(max_entries=_DEFAULT_CACHE_ENTRIES))
+_ENGINE: Optional[QueryEngine] = None
+_ENGINE_LOCK = threading.Lock()
 
 
 def default_engine() -> QueryEngine:
-    """The process-wide engine backing the one-call helpers."""
+    """The process-wide engine backing the one-call helpers.
+
+    Constructed lazily on first use: importing :mod:`repro.api` (and
+    therefore :mod:`repro`) allocates no engine, cache or worker
+    machinery — a process that only ever touches, say, the geometry
+    helpers pays nothing for the query stack.
+    """
+    global _ENGINE
+    if _ENGINE is None:
+        with _ENGINE_LOCK:
+            if _ENGINE is None:
+                _ENGINE = QueryEngine(
+                    cache=IndexCache(max_entries=_DEFAULT_CACHE_ENTRIES)
+                )
     return _ENGINE
 
 
@@ -47,10 +62,12 @@ def find_durable_triangles(
     metric raises :class:`~repro.errors.ValidationError`) returns exactly
     ``T_τ`` (Theorem B.3); the approximate backends return ``T_τ`` plus
     possibly some τ-durable ε-triangles (Theorem 3.1).  ``backend="auto"``
-    promotes ℓ∞ inputs to the exact algorithm for free.
+    promotes ℓ∞ inputs to the exact algorithm for free and otherwise
+    picks the cheapest capable backend via the registry's cost model
+    (:mod:`repro.backends`).
     """
     spec = QuerySpec(kind="triangles", taus=tau, epsilon=epsilon, backend=backend)
-    return _ENGINE.run(tps, spec).records
+    return default_engine().run(tps, spec).records
 
 
 def find_sum_durable_pairs(
@@ -61,7 +78,7 @@ def find_sum_durable_pairs(
 ) -> List[PairRecord]:
     """Report τ-SUM-durable pairs (Definition 1.5, Theorem 5.1)."""
     spec = QuerySpec(kind="pairs-sum", taus=tau, epsilon=epsilon, backend=backend)
-    return _ENGINE.run(tps, spec).records
+    return default_engine().run(tps, spec).records
 
 
 def find_union_durable_pairs(
@@ -75,4 +92,4 @@ def find_union_durable_pairs(
     spec = QuerySpec(
         kind="pairs-union", taus=tau, kappa=kappa, epsilon=epsilon, backend=backend
     )
-    return _ENGINE.run(tps, spec).records
+    return default_engine().run(tps, spec).records

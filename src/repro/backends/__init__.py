@@ -1,0 +1,45 @@
+"""First-class backend registry with cost-based ``auto`` dispatch.
+
+The interchangeable algorithm flavours of the paper — cover-tree vs
+grid spatial decompositions (Appendix A vs Remark 1), approximate vs
+ℓ∞-exact triangle reporting (Section 3 vs Appendix B) — register
+capability descriptors here, and every consumer (planner, spec
+validation, serving layer, CLI) dispatches through one registry instead
+of scattered string checks:
+
+* :class:`~repro.backends.descriptor.BackendDescriptor` — name, query
+  kinds served, metric constraint, exactness guarantee, builder and
+  cache-identity hooks;
+* :class:`~repro.backends.registry.BackendRegistry` — registration,
+  capability lookup, and the deterministic ``backend="auto"``
+  resolution (exact preferred when eligible, cheapest by cost model
+  otherwise);
+* :class:`~repro.backends.cost.CostModel` — the measured, calibratable
+  scoring function (``benchmarks/bench_backends.py`` →
+  ``BENCH_backends.json`` → :meth:`~repro.backends.cost.CostModel.
+  from_bench`);
+* :func:`~repro.backends.registry.default_registry` — the lazily
+  created process-wide instance with the built-ins installed.
+"""
+
+from .cost import (
+    DEFAULT_COEFFICIENTS,
+    BackendCoefficients,
+    CostModel,
+    QueryFeatures,
+    fit_coefficients,
+)
+from .descriptor import BackendDescriptor
+from .registry import BackendRegistry, BackendResolution, default_registry
+
+__all__ = [
+    "BackendDescriptor",
+    "BackendRegistry",
+    "BackendResolution",
+    "BackendCoefficients",
+    "CostModel",
+    "QueryFeatures",
+    "DEFAULT_COEFFICIENTS",
+    "fit_coefficients",
+    "default_registry",
+]

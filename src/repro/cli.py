@@ -7,6 +7,7 @@ to poke at the algorithms without writing a script.
 Commands::
 
     python -m repro info       --workload social --n 400
+    python -m repro backends   [--explain --workload uniform --n 200]
     python -m repro triangles  --workload uniform --n 500 --tau 6
     python -m repro cliques    --m 4 --tau 4
     python -m repro pairs-sum  --workload coauthor --tau 30
@@ -14,6 +15,16 @@ Commands::
     python -m repro stream     --tau 6
     python -m repro batch      queries.json --output results.json
     python -m repro serve      --port 8765 --dataset 'soc={"workload":"social","n":400}'
+
+Backend dispatch is uniform across the CLI: every query-running command
+takes ``--backend`` (default ``auto`` — the registry's cost model picks
+the cheapest capable backend for the dataset shape; see ``python -m
+repro backends``).  The one-shot commands (``triangles``, ``cliques``,
+``pairs-sum``, ``pairs-union``) run through the same engine/planner
+path as ``batch`` and ``serve``, so ``auto`` means the same thing
+everywhere.  ``backends`` lists the registered descriptors and, with
+``--explain``, shows the per-kind resolution and cost scores for a
+concrete workload.
 
 ``batch`` runs a whole file of queries through the shared-index
 :class:`~repro.engine.QueryEngine`: every query that can legally reuse
@@ -42,16 +53,12 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from . import (
-    DurableTriangleIndex,
-    DynamicTriangleStream,
-    SumPairIndex,
-    TemporalPointSet,
-    UnionPairIndex,
-    find_durable_cliques,
-)
+from . import DynamicTriangleStream, TemporalPointSet
+from .api import default_engine
+from .backends import default_registry
 from .datasets import workload_from_spec
-from .engine import QueryEngine, QuerySpec
+from .engine import KINDS, QueryEngine, QueryResult, QuerySpec
+from .engine.spec import apply_default_backend
 from .errors import ReproError, ValidationError
 from .geometry import doubling_dimension_estimate, spread
 
@@ -77,9 +84,23 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--epsilon", type=float, default=0.5,
                        help="distance approximation ε")
         p.add_argument("--top", type=int, default=5, help="rows to print")
+        p.add_argument("--backend", default="auto",
+                       help="backend name, or 'auto' for registry cost-model "
+                            "dispatch (see `python -m repro backends`)")
 
     p_info = sub.add_parser("info", help="workload diagnostics (spread, doubling dim)")
     common(p_info)
+
+    p_back = sub.add_parser(
+        "backends",
+        help="list registered backends, capabilities and cost coefficients",
+    )
+    common(p_back)
+    p_back.add_argument("--json", action="store_true",
+                        help="emit the descriptor list as JSON")
+    p_back.add_argument("--explain", action="store_true",
+                        help="resolve every query kind against the selected "
+                             "workload and print the cost scores")
 
     p_tri = sub.add_parser("triangles", help="report durable triangles (Section 3)")
     common(p_tri)
@@ -138,6 +159,10 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="NAME=SPEC",
                        help="register a dataset at boot; SPEC is the JSON "
                             "accepted by POST /datasets (repeatable)")
+    p_srv.add_argument("--backend", default=None, metavar="NAME",
+                       help="default backend applied to queries that name "
+                            "none, for every dataset that doesn't set its "
+                            "own default_backend")
     p_srv.add_argument("--idle-timeout", type=float, default=None,
                        metavar="SECONDS",
                        help="close a keep-alive connection idle for this long "
@@ -205,6 +230,10 @@ def _load_batch_file(path: str) -> Dict[str, Any]:
 
 def _run_batch(args: argparse.Namespace, out) -> int:
     doc = _load_batch_file(args.file)
+    # --backend fills in queries that name none (explicit entries win,
+    # kinds the backend cannot serve stay on auto) — one precedence
+    # rule shared with the serving layer via apply_default_backend.
+    doc["queries"] = apply_default_backend(doc["queries"], args.backend)
     # Validate the query specs before materialising any dataset, so a
     # typo in the file fails fast.
     specs = [QuerySpec.from_dict(q) for q in doc["queries"]]
@@ -260,6 +289,73 @@ def _run_batch(args: argparse.Namespace, out) -> int:
     return 1 if batch.n_errors else 0
 
 
+def _spec_for_kind(kind: str, args: argparse.Namespace) -> QuerySpec:
+    """A representative spec for ``--explain`` resolution demos."""
+    extras: Dict[str, Any] = {}
+    if kind == "pairs-union":
+        extras["kappa"] = 3
+    tau = getattr(args, "tau", None)
+    return QuerySpec(
+        kind=kind,
+        taus=tau if tau is not None else 4.0,
+        epsilon=args.epsilon,
+        backend=args.backend,
+        **extras,
+    )
+
+
+def _run_backends(args: argparse.Namespace, out) -> int:
+    registry = default_registry()
+    if args.json:
+        json.dump(
+            {
+                "backends": registry.describe(),
+                "cost_coefficients": registry.cost_model.as_dict(),
+            },
+            out,
+            indent=2,
+        )
+        print(file=out)
+    else:
+        print(f"registered backends: {len(registry)}", file=out)
+        for card in registry.describe():
+            flags = []
+            if card["exact"]:
+                flags.append("exact")
+            if card["spatial"]:
+                flags.append("spatial")
+            coef = card["cost_coefficients"]
+            coef_text = (
+                f"build {coef['build']:.2e}, query {coef['query']:.2e}"
+                if coef
+                else "uncalibrated"
+            )
+            print(f"  {card['name']}  [{', '.join(flags) or '-'}]", file=out)
+            print(f"    {card['description']}", file=out)
+            print(f"    metric: {card['metric']}", file=out)
+            print(f"    kinds:  {', '.join(card['kinds'])}", file=out)
+            print(f"    cost:   {coef_text}", file=out)
+    if args.explain:
+        tps = load_workload(args)
+        print(f"resolution for {tps} (backend={args.backend!r}):", file=out)
+        for kind in KINDS:
+            try:
+                resolution = default_registry().resolve(_spec_for_kind(kind, args), tps)
+            except ValidationError as exc:
+                print(f"  {kind:<11} -> error: {exc}", file=out)
+                continue
+            scores = ", ".join(
+                f"{name}={cost * 1e3:.2f}ms"
+                for name, cost in sorted(resolution.costs.items())
+            )
+            print(
+                f"  {kind:<11} -> {resolution.name}  ({resolution.reason}; "
+                f"est {scores})",
+                file=out,
+            )
+    return 0
+
+
 def _parse_boot_datasets(entries: List[str]) -> Dict[str, Dict[str, Any]]:
     """Parse repeated ``--dataset NAME=SPECJSON`` flags."""
     datasets: Dict[str, Dict[str, Any]] = {}
@@ -306,6 +402,7 @@ def _run_serve(args: argparse.Namespace, out) -> int:
         max_entries=args.max_entries,
         max_workers=args.workers,
         queue_limit=args.queue_limit,
+        default_backend=args.backend,
         datasets=_parse_boot_datasets(args.dataset),
         announce=announce,
         **keepalive_kwargs,
@@ -322,6 +419,23 @@ def _timed(label: str, fn, out=sys.stdout):
     return result
 
 
+def _run_one_shot(spec: QuerySpec, tps: TemporalPointSet, out) -> QueryResult:
+    """Run a single-query command through the shared engine.
+
+    One path for everything: the registry resolves the backend (so
+    ``--backend auto`` means exactly what it means in ``batch`` and
+    ``serve``), the process-wide cache shares preprocessing across
+    commands in one interpreter, and the result carries build/query
+    timing equivalent to the old hand-timed prints.
+    """
+    result = default_engine().run(tps, spec)
+    print(f"backend: {result.key.backend}", file=out)
+    source = "cache hit" if result.cache_hit else f"{result.build_seconds * 1000:.1f} ms"
+    print(f"build: {source}", file=out)
+    print(f"query: {result.query_seconds * 1000:.1f} ms", file=out)
+    return result
+
+
 def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -330,6 +444,8 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
             return _run_batch(args, out)
         if args.command == "serve":
             return _run_serve(args, out)
+        if args.command == "backends":
+            return _run_backends(args, out)
         tps = load_workload(args)
         print(f"workload: {tps}", file=out)
 
@@ -345,42 +461,60 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
             print(f"mean lifespan ≈ {(tps.ends - tps.starts).mean():.2f}", file=out)
 
         elif args.command == "triangles":
-            idx = _timed("build", lambda: DurableTriangleIndex(tps, args.epsilon), out)
+            spec = QuerySpec(
+                kind="triangles", taus=args.tau,
+                epsilon=args.epsilon, backend=args.backend,
+            )
             if args.count_only:
+                idx = default_engine().get_index(tps, spec)
+                if not hasattr(idx, "count"):
+                    raise ValidationError(
+                        "--count-only needs the approximate triangle index; "
+                        "pass --backend cover-tree or grid (the resolved "
+                        "exact backend enumerates instead of counting)"
+                    )
                 count = _timed("count", lambda: idx.count(args.tau), out)
                 print(f"durable triangles: {count}", file=out)
             else:
-                recs = _timed("query", lambda: idx.query(args.tau), out)
+                recs = _run_one_shot(spec, tps, out).records
                 print(f"durable triangles: {len(recs)}", file=out)
                 for r in sorted(recs, key=lambda r: -r.durability)[: args.top]:
                     print(f"  {r.ids}  durability {r.durability:.2f}", file=out)
 
         elif args.command == "cliques":
-            recs = _timed(
-                "query",
-                lambda: find_durable_cliques(tps, args.m, args.tau, args.epsilon),
-                out,
+            spec = QuerySpec(
+                kind="cliques", taus=args.tau, m=args.m,
+                epsilon=args.epsilon, backend=args.backend,
             )
+            recs = _run_one_shot(spec, tps, out).records
             print(f"durable {args.m}-cliques: {len(recs)}", file=out)
             for r in sorted(recs, key=lambda r: -r.durability)[: args.top]:
                 print(f"  {r.members}  durability {r.durability:.2f}", file=out)
 
         elif args.command == "pairs-sum":
-            idx = _timed("build", lambda: SumPairIndex(tps, args.epsilon), out)
-            recs = _timed("query", lambda: idx.query(args.tau), out)
+            spec = QuerySpec(
+                kind="pairs-sum", taus=args.tau,
+                epsilon=args.epsilon, backend=args.backend,
+            )
+            recs = _run_one_shot(spec, tps, out).records
             print(f"SUM-durable pairs: {len(recs)}", file=out)
             for r in sorted(recs, key=lambda r: -r.score)[: args.top]:
                 print(f"  ({r.p}, {r.q})  witness sum {r.score:.2f}", file=out)
 
         elif args.command == "pairs-union":
-            idx = _timed("build", lambda: UnionPairIndex(tps, args.epsilon), out)
-            recs = _timed("query", lambda: idx.query(args.tau, args.kappa), out)
+            spec = QuerySpec(
+                kind="pairs-union", taus=args.tau, kappa=args.kappa,
+                epsilon=args.epsilon, backend=args.backend,
+            )
+            recs = _run_one_shot(spec, tps, out).records
             print(f"(τ,κ)-UNION-durable pairs: {len(recs)}", file=out)
             for r in sorted(recs, key=lambda r: -r.score)[: args.top]:
                 print(f"  ({r.p}, {r.q})  covered {r.score:.2f}", file=out)
 
         elif args.command == "stream":
-            stream = DynamicTriangleStream(tps, args.tau, args.epsilon)
+            stream = DynamicTriangleStream(
+                tps, args.tau, args.epsilon, backend=args.backend
+            )
             recs = _timed("replay", stream.run, out)
             st = stream.structure
             print(

@@ -8,32 +8,39 @@ pure — no index is built here — so a plan can also be inspected to
 predict how many distinct builds a batch will trigger
 (:func:`distinct_index_keys`).
 
-Resolution rules (kept bit-identical to the historical ``repro.api``
-behaviour, plus the ISSUE 1 bugfix):
+Backend dispatch goes through the registry
+(:mod:`repro.backends`) rather than the if/elif chains of earlier
+revisions: :meth:`~repro.backends.registry.BackendRegistry.resolve`
+validates the kind/backend/metric combination, resolves
+``backend="auto"`` through the cost model (exact ℓ∞ promotion
+included), and the chosen descriptor's hooks emit the cache key and
+builder.  For every pre-existing explicit backend name the emitted
+:class:`~repro.engine.cache.IndexKey` is bit-identical to the
+historical planner's, so caches populated before the registry existed
+stay valid (asserted by ``tests/test_backends.py``).
+
+Validation rules the registry enforces (superset of the ISSUE 1 fix):
 
 * ``triangles`` with ``backend="linf-exact"`` or ``exact=True``
   **requires** the ℓ∞ metric and raises
-  :class:`~repro.errors.ValidationError` otherwise (previously the
-  mismatch surfaced as a structural :class:`BackendError`, or not at
-  all through some call paths);
+  :class:`~repro.errors.ValidationError` otherwise;
 * ``triangles`` with ``backend="auto"`` on an ℓ∞ input is promoted to
   the exact solver unless ``exact=False``;
-* pair and pattern kinds treat ``backend="linf-exact"`` as ``auto``
-  (their solvers have no exact ℓ∞ variant).
+* pair and pattern kinds reject ``backend="linf-exact"`` outright,
+  naming the backends that do serve them (they used to coerce it to
+  ``auto`` silently);
+* an explicit backend whose metric predicate rejects the dataset's
+  metric (e.g. ``grid`` under an opaque function metric) fails at plan
+  time, naming the usable alternatives.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, List, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-from ..core.aggregate import SumPairIndex, UnionPairIndex
-from ..core.linf import LinfTriangleIndex
-from ..core.patterns import PatternIndex
-from ..core.triangles import DurableTriangleIndex
+from ..backends.registry import BackendRegistry, default_registry
 from ..errors import ValidationError
-from ..geometry.metrics import ChebyshevMetric
-from ..structures.durable_ball import resolve_backend
 from ..types import TemporalPointSet
 from .cache import IndexKey
 from .spec import PATTERN_KINDS, QuerySpec
@@ -52,92 +59,56 @@ class QueryPlan:
     runner: Callable[[Any, float], list]
 
 
-def _spatial_backend(backend: str) -> str:
-    """The spatial backend pair/pattern solvers receive (api parity)."""
-    return "auto" if backend == "linf-exact" else backend
+def _runner_for(spec: QuerySpec) -> Callable[[Any, float], list]:
+    """The per-τ report call — kind-specific, backend-agnostic.
 
-
-def _resolved_spatial(backend: str) -> str:
-    """Normalise ``auto`` for cache keys, via the one canonical rule."""
-    return resolve_backend(_spatial_backend(backend))
-
-
-def _wants_exact_triangles(spec: QuerySpec, tps: TemporalPointSet) -> bool:
-    if spec.exact is False:
-        return False
-    if spec.exact is True or spec.backend == "linf-exact":
-        if not isinstance(tps.metric, ChebyshevMetric):
-            raise ValidationError(
-                "the exact triangle backend requires the linf metric, got "
-                f"{tps.metric.name!r}; use backend='auto' (or exact=False) "
-                "for approximate reporting under this metric"
-            )
-        return True
-    return spec.backend == "auto" and isinstance(tps.metric, ChebyshevMetric)
-
-
-def plan_query(order: int, spec: QuerySpec, tps: TemporalPointSet) -> QueryPlan:
-    """Resolve one spec against a dataset (validates, never builds)."""
-    fp = tps.fingerprint()
-    if spec.kind == "triangles":
-        if _wants_exact_triangles(spec, tps):
-            key = IndexKey("linf-triangles", fp, 0.0, "linf-exact")
-            builder = lambda: LinfTriangleIndex(tps)  # noqa: E731
-        else:
-            key = IndexKey(
-                "triangles", fp, spec.epsilon, _resolved_spatial(spec.backend)
-            )
-            builder = lambda: DurableTriangleIndex(  # noqa: E731
-                tps, epsilon=spec.epsilon, backend=_spatial_backend(spec.backend)
-            )
-        runner = lambda index, tau: index.query(tau)  # noqa: E731
-    elif spec.kind == "pairs-sum":
-        key = IndexKey(
-            "pairs-sum",
-            fp,
-            spec.epsilon,
-            _resolved_spatial(spec.backend),
-            (spec.sum_backend,),
-        )
-        builder = lambda: SumPairIndex(  # noqa: E731
-            tps,
-            epsilon=spec.epsilon,
-            backend=_spatial_backend(spec.backend),
-            sum_backend=spec.sum_backend,
-        )
-        runner = lambda index, tau: index.query(tau)  # noqa: E731
-    elif spec.kind == "pairs-union":
-        key = IndexKey(
-            "pairs-union", fp, spec.epsilon, _resolved_spatial(spec.backend)
-        )
-        builder = lambda: UnionPairIndex(  # noqa: E731
-            tps, epsilon=spec.epsilon, backend=_spatial_backend(spec.backend)
-        )
+    Every backend serving a kind exposes the same query surface
+    (``query(tau)``, ``query(tau, kappa)``, or the pattern iterators),
+    so runners key on the spec alone and a cached index answers any
+    spec that shares its key.
+    """
+    if spec.kind == "pairs-union":
         kappa = spec.kappa
-        runner = lambda index, tau: index.query(tau, kappa)  # noqa: E731
-    elif spec.kind in PATTERN_KINDS:
-        key = IndexKey(
-            "patterns", fp, spec.epsilon, _resolved_spatial(spec.backend)
-        )
-        builder = lambda: PatternIndex(  # noqa: E731
-            tps, epsilon=spec.epsilon, backend=_spatial_backend(spec.backend)
-        )
+        return lambda index, tau: index.query(tau, kappa)
+    if spec.kind in PATTERN_KINDS:
         m = spec.m
         iter_name = {
             "cliques": "iter_cliques",
             "paths": "iter_paths",
             "stars": "iter_stars",
         }[spec.kind]
-        runner = lambda index, tau: list(  # noqa: E731
-            getattr(index, iter_name)(m, tau)
-        )
-    else:  # pragma: no cover - QuerySpec already rejects unknown kinds
-        raise ValidationError(f"unknown query kind {spec.kind!r}")
-    return QueryPlan(order=order, spec=spec, key=key, builder=builder, runner=runner)
+        return lambda index, tau: list(getattr(index, iter_name)(m, tau))
+    return lambda index, tau: index.query(tau)
+
+
+def plan_query(
+    order: int,
+    spec: QuerySpec,
+    tps: TemporalPointSet,
+    registry: Optional[BackendRegistry] = None,
+) -> QueryPlan:
+    """Resolve one spec against a dataset (validates, never builds).
+
+    ``registry`` defaults to the process-wide
+    :func:`~repro.backends.registry.default_registry`; passing another
+    instance scopes dispatch (and any custom backends or recalibrated
+    cost model) to this call.
+    """
+    reg = registry if registry is not None else default_registry()
+    descriptor = reg.resolve(spec, tps).descriptor
+    return QueryPlan(
+        order=order,
+        spec=spec,
+        key=descriptor.index_identity(spec, tps.fingerprint()),
+        builder=descriptor.make_builder(spec, tps),
+        runner=_runner_for(spec),
+    )
 
 
 def plan_batch(
-    specs: Sequence[QuerySpec], tps: TemporalPointSet
+    specs: Sequence[QuerySpec],
+    tps: TemporalPointSet,
+    registry: Optional[BackendRegistry] = None,
 ) -> List[QueryPlan]:
     """Plan every spec of a batch against one dataset.
 
@@ -147,7 +118,7 @@ def plan_batch(
     plans: List[QueryPlan] = []
     for order, spec in enumerate(specs):
         try:
-            plans.append(plan_query(order, spec, tps))
+            plans.append(plan_query(order, spec, tps, registry=registry))
         except ValidationError as exc:
             raise ValidationError(f"query #{order}: {exc}") from exc
     return plans

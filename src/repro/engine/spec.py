@@ -20,9 +20,10 @@ from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from ..backends.registry import default_registry
 from ..errors import ValidationError
 
-__all__ = ["KINDS", "QuerySpec"]
+__all__ = ["KINDS", "QuerySpec", "apply_default_backend", "known_backends"]
 
 #: Integral types accepted for κ and m (numpy scalars included, as the
 #: core solvers always have).
@@ -50,10 +51,59 @@ KINDS = (
 #: Kinds served by the shared :class:`~repro.core.patterns.PatternIndex`.
 PATTERN_KINDS = ("cliques", "paths", "stars")
 
-#: Accepted ``backend`` values (``linf-exact`` is triangle-specific; for
-#: pair/pattern kinds it degrades to ``auto`` exactly as ``repro.api``
-#: always has).
-BACKENDS = ("auto", "cover-tree", "grid", "linf-exact")
+def known_backends() -> Tuple[str, ...]:
+    """``'auto'`` plus every backend registered right now.
+
+    Backend names are validated against the live
+    :func:`~repro.backends.registry.default_registry` — registering a
+    custom backend makes it spec-valid everywhere (api, batch CLI,
+    serve) with no further wiring.  The module attribute ``BACKENDS``
+    resolves to this tuple for backwards compatibility.
+    """
+    return ("auto", *default_registry().names())
+
+
+def __getattr__(name: str):  # pragma: no cover - thin compat shim
+    if name == "BACKENDS":
+        return known_backends()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def apply_default_backend(
+    queries: Iterable[Any], default: Optional[str]
+) -> list:
+    """Inject a default backend into query mappings that name none.
+
+    The one precedence rule for both ``python -m repro batch
+    --backend`` and the serving layer's per-dataset ``default_backend``
+    (keep them in lockstep — change it here, both surfaces follow):
+
+    * an explicit per-query ``"backend"`` always wins;
+    * the default applies only to queries whose kind the backend
+      actually serves — a triangles-only default (``linf-exact``) on a
+      mixed batch pins the triangle queries and leaves the rest on
+      ``auto`` dispatch instead of failing them;
+    * ``None``/``"auto"`` defaults are no-ops;
+    * an unknown default name raises immediately
+      (:class:`~repro.errors.BackendError`), even when every query
+      names its own backend.
+
+    Non-mapping entries pass through untouched for
+    :meth:`QuerySpec.from_dict` to reject with its usual message.
+    """
+    items = list(queries)
+    if default is None or default == "auto":
+        return items
+    descriptor = default_registry().get(default)  # unknown name -> BackendError
+    return [
+        {**q, "backend": default}
+        if isinstance(q, Mapping)
+        and "backend" not in q
+        and descriptor.serves(q.get("kind"))
+        else q
+        for q in items
+    ]
+
 
 _SUM_BACKENDS = ("profile", "tree")
 
@@ -75,7 +125,9 @@ class QuerySpec:
         Distance approximation ``ε ∈ (0, 1]`` (ignored by the exact ℓ∞
         triangle solver).
     backend:
-        Spatial backend, one of :data:`BACKENDS`.
+        Backend name — ``"auto"`` (registry cost-model dispatch) or any
+        name registered on the backend registry
+        (:func:`known_backends` lists the current set).
     kappa:
         Witness budget κ — required for ``pairs-union``, rejected
         elsewhere.
@@ -115,10 +167,10 @@ class QuerySpec:
             raise ValidationError(
                 f"epsilon must lie in (0, 1], got {self.epsilon!r}"
             )
-        if self.backend not in BACKENDS:
-            raise ValidationError(
-                f"unknown backend {self.backend!r}; expected one of {', '.join(BACKENDS)}"
-            )
+        # Registry-backed: rejects unknown names AND kind/backend combos
+        # no descriptor serves (e.g. pairs/pattern kinds under the
+        # triangle-only 'linf-exact' — previously coerced to 'auto').
+        default_registry().validate_combination(self.kind, self.backend)
         if self.sum_backend not in _SUM_BACKENDS:
             raise ValidationError(
                 f"unknown sum backend {self.sum_backend!r}; "

@@ -103,17 +103,28 @@ def submit_plans(
             raise OverloadedError(
                 f"dataset {shard.name!r} is shutting down"
             ) from None
-        future.add_done_callback(_release_callback(shard))
+        future.add_done_callback(_release_callback(shard, plan))
         futures.append(future)
     return futures
 
 
-def _release_callback(shard: "DatasetShard"):
+def _release_callback(shard: "DatasetShard", plan: QueryPlan):
     def _done(future: "asyncio.Future[QueryResult]") -> None:
         shard.admission.release(1)
+        # The plan key's backend is the registry-resolved name, so the
+        # shard's per-backend counters attribute work (and failures) to
+        # the backend that actually ran — even when the future itself
+        # died before producing a result envelope.
         if not future.cancelled() and future.exception() is None:
-            shard.record_result(future.result().ok)
+            result = future.result()
+            shard.record_result(
+                result.ok,
+                backend=result.key.backend,
+                cache_hit=result.cache_hit,
+                build_seconds=result.build_seconds,
+                query_seconds=result.query_seconds,
+            )
         else:
-            shard.record_result(False)
+            shard.record_result(False, backend=plan.key.backend)
 
     return _done

@@ -17,9 +17,10 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Mapping, Optional, Union
 
+from ..backends import default_registry as default_backend_registry
 from ..datasets import workload_from_spec
 from ..engine import IndexCache
-from ..errors import ReproError, ValidationError
+from ..errors import BackendError, ReproError, ValidationError
 from ..types import TemporalPointSet
 from .bridge import AdmissionQueue
 
@@ -56,6 +57,38 @@ def _default_shard_workers() -> int:
     return max(1, min(4, cpus))
 
 
+def _normalise_default_backend(
+    default_backend: Optional[str],
+    tps: Optional[TemporalPointSet] = None,
+    dataset_name: Optional[str] = None,
+) -> Optional[str]:
+    """Validate a default backend against the registry (and a dataset).
+
+    ``None`` and ``"auto"`` both mean "no override" (cost-model
+    dispatch); anything else must be a registered backend name.  When a
+    dataset is at hand the backend's metric predicate is checked too,
+    so an incompatible default — e.g. ``linf-exact`` over an ℓ2
+    dataset — fails the ``POST /datasets`` call instead of every later
+    query.  (Kind coverage is *not* required: a triangles-only default
+    applies to the triangle queries and leaves other kinds on ``auto``;
+    see :func:`repro.engine.spec.apply_default_backend`.)
+    """
+    if default_backend is None or default_backend == "auto":
+        return None
+    try:
+        descriptor = default_backend_registry().get(default_backend)
+    except BackendError as exc:
+        raise ValidationError(str(exc)) from exc
+    if tps is not None and not descriptor.supports_metric(tps.metric):
+        where = f" for dataset {dataset_name!r}" if dataset_name else ""
+        raise ValidationError(
+            f"default_backend {descriptor.name!r} requires "
+            f"{descriptor.metric_requirement}, but the dataset{where} uses "
+            f"the {tps.metric.name!r} metric"
+        )
+    return default_backend
+
+
 class DatasetShard:
     """One registered dataset plus everything needed to serve it."""
 
@@ -67,10 +100,19 @@ class DatasetShard:
         max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
         max_workers: Optional[int] = None,
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        default_backend: Optional[str] = None,
     ) -> None:
         self.name = name
         self.tps = tps
         self.spec = dict(spec) if spec is not None else None
+        #: Backend injected into queries that name none (explicit
+        #: per-query backends always win, kinds it cannot serve stay on
+        #: ``auto``); ``None`` keeps cost-model dispatch for everything.
+        #: Metric compatibility is enforced against *this* dataset here,
+        #: at registration time.
+        self.default_backend = _normalise_default_backend(
+            default_backend, tps=tps, dataset_name=name
+        )
         self.cache = IndexCache(max_entries=max_entries)
         self.workers = max_workers if max_workers is not None else _default_shard_workers()
         self.executor = ThreadPoolExecutor(
@@ -83,15 +125,53 @@ class DatasetShard:
         self._lock = threading.Lock()
         self._queries_total = 0
         self._errors_total = 0
+        #: Per-resolved-backend serving counters (``/stats``): how many
+        #: queries each backend answered, how many builds it paid for,
+        #: and the wall time spent building vs querying.
+        self._backend_counters: Dict[str, Dict[str, Any]] = {}
         self._closed = False
 
     # ------------------------------------------------------------------
-    def record_result(self, ok: bool) -> None:
-        """Bump the served/failed counters for one finished query."""
+    def record_result(
+        self,
+        ok: bool,
+        backend: Optional[str] = None,
+        cache_hit: bool = False,
+        build_seconds: float = 0.0,
+        query_seconds: float = 0.0,
+    ) -> None:
+        """Bump the served/failed counters for one finished query.
+
+        ``backend`` is the *resolved* backend name off the plan's cache
+        key — per-backend accounting therefore reflects what actually
+        ran, not what the client asked for (``auto`` never appears).
+        """
         with self._lock:
             self._queries_total += 1
             if not ok:
                 self._errors_total += 1
+            if backend is None:
+                return
+            counters = self._backend_counters.setdefault(
+                backend,
+                {
+                    "queries": 0,
+                    "errors": 0,
+                    "builds": 0,
+                    "cache_hits": 0,
+                    "build_seconds": 0.0,
+                    "query_seconds": 0.0,
+                },
+            )
+            counters["queries"] += 1
+            if not ok:
+                counters["errors"] += 1
+            if cache_hit:
+                counters["cache_hits"] += 1
+            elif build_seconds > 0.0:
+                counters["builds"] += 1
+                counters["build_seconds"] += build_seconds
+            counters["query_seconds"] += query_seconds
 
     def describe(self) -> Dict[str, Any]:
         """JSON-ready dataset identity (the ``POST /datasets`` reply)."""
@@ -101,6 +181,7 @@ class DatasetShard:
             "dim": self.tps.dim,
             "metric": self.tps.metric.name,
             "fingerprint": self.tps.fingerprint(),
+            "default_backend": self.default_backend,
         }
 
     def stats(self) -> Dict[str, Any]:
@@ -108,6 +189,10 @@ class DatasetShard:
         with self._lock:
             queries_total = self._queries_total
             errors_total = self._errors_total
+            backends = {
+                name: dict(counters)
+                for name, counters in self._backend_counters.items()
+            }
         return {
             "dataset": self.describe(),
             "cache": self.cache.stats.snapshot().as_dict(),
@@ -118,6 +203,7 @@ class DatasetShard:
             "rejected": self.admission.rejected,
             "queries_total": queries_total,
             "errors_total": errors_total,
+            "backends": backends,
             "uptime_seconds": time.monotonic() - self.created_monotonic,
         }
 
@@ -138,12 +224,16 @@ class DatasetRegistry:
         max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
         max_workers: Optional[int] = None,
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        default_backend: Optional[str] = None,
     ) -> None:
         if queue_limit < 1:
             raise ValidationError(f"queue_limit must be >= 1, got {queue_limit!r}")
         self.default_max_entries = max_entries
         self.default_max_workers = max_workers
         self.default_queue_limit = queue_limit
+        # Validated eagerly: a bad server-wide --backend should fail at
+        # boot, not at the first dataset registration.
+        self.default_backend = _normalise_default_backend(default_backend)
         self._lock = threading.Lock()
         self._shards: Dict[str, DatasetShard] = {}
         #: Names whose registration is materialising right now — reserved
@@ -159,17 +249,21 @@ class DatasetRegistry:
         max_entries: Optional[int] = None,
         max_workers: Optional[int] = None,
         queue_limit: Optional[int] = None,
+        default_backend: Optional[str] = None,
         replace: bool = False,
     ) -> DatasetShard:
         """Materialise (if needed) and register a dataset under ``name``.
 
         ``dataset`` is either a ready :class:`TemporalPointSet` or a
         declarative spec for :func:`~repro.datasets.workload_from_spec`
-        (the wire format of ``POST /datasets``).  Registering an
-        existing name raises :class:`DuplicateDatasetError` unless
-        ``replace=True``, in which case the old shard is closed.  The
-        name is reserved before the (possibly slow) workload build, so
-        a duplicate — racing or not — is rejected before any work.
+        (the wire format of ``POST /datasets``).  ``default_backend``
+        (falling back to the registry-wide default) is injected into
+        queries against this dataset that name no backend of their own.
+        Registering an existing name raises
+        :class:`DuplicateDatasetError` unless ``replace=True``, in
+        which case the old shard is closed.  The name is reserved
+        before the (possibly slow) workload build, so a duplicate —
+        racing or not — is rejected before any work.
         """
         if not isinstance(name, str) or not name or "/" in name or name != name.strip():
             raise ValidationError(
@@ -199,6 +293,11 @@ class DatasetRegistry:
                 max_entries=max_entries if max_entries is not None else self.default_max_entries,
                 max_workers=max_workers if max_workers is not None else self.default_max_workers,
                 queue_limit=queue_limit if queue_limit is not None else self.default_queue_limit,
+                default_backend=(
+                    default_backend
+                    if default_backend is not None
+                    else self.default_backend
+                ),
             )
             with self._lock:
                 old = self._shards.get(name)

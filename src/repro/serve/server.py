@@ -6,14 +6,19 @@ protocol:
 
 * ``GET  /health``   — liveness probe (used by CI to await boot);
 * ``GET  /datasets`` — registered dataset identities;
-* ``POST /datasets`` — register ``{"name": ..., "dataset": {spec}}``;
+* ``POST /datasets`` — register ``{"name": ..., "dataset": {spec}}``
+  (optional ``"default_backend"``: a registered backend injected into
+  queries against this dataset that name none — explicit per-query
+  backends always win, kinds the backend cannot serve stay on ``auto``,
+  and a metric-incompatible default is rejected here, at registration);
 * ``POST /query``    — ``{"dataset": ..., "queries": [QuerySpec...]}``,
   answered as a chunked NDJSON stream: a ``batch-start`` line, then per
   query its ``records`` lines (one per τ, so a huge τ-sweep is never
   buffered as one document) and a ``result`` status line, then a
   ``batch-end`` line with per-batch cache stats;
-* ``GET  /stats``    — per-shard cache/admission statistics plus the
-  server's connection counters;
+* ``GET  /stats``    — per-shard cache/admission statistics (including
+  per-resolved-backend build/query counters) plus the server's
+  connection counters;
 * ``POST /shutdown`` — graceful stop: new connections are refused,
   in-flight requests drain, idle keep-alive connections are closed.
 
@@ -40,7 +45,7 @@ from typing import Any, Callable, Dict, Mapping, Optional
 
 from ..engine.planner import plan_batch
 from ..engine.results import QueryResult, record_to_dict
-from ..engine.spec import QuerySpec
+from ..engine.spec import QuerySpec, apply_default_backend
 from ..errors import ValidationError
 from .bridge import OverloadedError, submit_plans
 from .http import (
@@ -125,6 +130,7 @@ class ServeApp:
         idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
         max_requests_per_connection: int = DEFAULT_MAX_REQUESTS_PER_CONNECTION,
         drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+        default_backend: Optional[str] = None,
     ) -> None:
         if idle_timeout <= 0:
             raise ValidationError(
@@ -139,6 +145,7 @@ class ServeApp:
             max_entries=max_entries,
             max_workers=max_workers,
             queue_limit=queue_limit,
+            default_backend=default_backend,
         )
         self.idle_timeout = idle_timeout
         self.max_requests_per_connection = max_requests_per_connection
@@ -328,6 +335,7 @@ class ServeApp:
                     max_entries=doc.get("max_entries"),
                     max_workers=doc.get("max_workers"),
                     queue_limit=doc.get("queue_limit"),
+                    default_backend=doc.get("default_backend"),
                     replace=replace,
                 ),
             )
@@ -357,6 +365,9 @@ class ServeApp:
         include_records = bool(doc.get("include_records", True))
 
         shard = self.registry.get(name)
+        # Per-dataset default backend; precedence rules (explicit wins,
+        # kind-aware) live in one place: engine.spec.apply_default_backend.
+        queries = apply_default_backend(queries, shard.default_backend)
         specs = [QuerySpec.from_dict(q) for q in queries]
         plans = plan_batch(specs, shard.tps)
         before = shard.cache.stats.snapshot()
@@ -547,6 +558,7 @@ def run_server(
     idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
     max_requests_per_connection: int = DEFAULT_MAX_REQUESTS_PER_CONNECTION,
     drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+    default_backend: Optional[str] = None,
     datasets: Optional[Mapping[str, Mapping[str, Any]]] = None,
     announce=None,
 ) -> None:
@@ -559,6 +571,7 @@ def run_server(
         idle_timeout=idle_timeout,
         max_requests_per_connection=max_requests_per_connection,
         drain_timeout=drain_timeout,
+        default_backend=default_backend,
     )
     for name, spec in (datasets or {}).items():
         app.registry.register(name, spec)
@@ -610,6 +623,7 @@ def start_server_thread(
     idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
     max_requests_per_connection: int = DEFAULT_MAX_REQUESTS_PER_CONNECTION,
     drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+    default_backend: Optional[str] = None,
     boot_timeout: float = 15.0,
 ) -> ServerHandle:
     """Start a server on a daemon thread; returns once it is listening."""
@@ -621,6 +635,7 @@ def start_server_thread(
         idle_timeout=idle_timeout,
         max_requests_per_connection=max_requests_per_connection,
         drain_timeout=drain_timeout,
+        default_backend=default_backend,
     )
     booted = threading.Event()
     state: Dict[str, Any] = {}

@@ -21,9 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from ..covertree.ball_query import CoverTreeDecomposition
-from ..errors import BackendError, ValidationError
-from ..quadtree.tree import GridDecomposition
+from ..errors import ValidationError
 from ..structures.decomposition import (
     GEOMETRY_SLACK,
     CanonicalGroup,
@@ -44,13 +42,18 @@ _INF = float("inf")
 
 
 def resolve_backend(backend: str) -> str:
-    """Canonical spatial-backend name: ``auto`` resolves to the cover
-    tree (the paper's general-metric structure).
+    """Canonical *structure-level* backend name: ``auto`` resolves to
+    the cover tree (the paper's general-metric structure).
 
-    This is the single source of truth for the resolution — the index
-    classes' ``cache_key()`` hooks and the engine planner's
-    :class:`~repro.engine.cache.IndexKey` both rely on it, so two
-    queries share a cached index exactly when this function agrees.
+    This is the fallback rule for code paths that construct a
+    :class:`DurableBallStructure` directly with ``backend="auto"`` (the
+    dynamic/incremental sessions, ad-hoc scripts); the engine planner
+    resolves ``auto`` earlier — through the backend registry's cost
+    model (:meth:`repro.backends.registry.BackendRegistry.resolve`) —
+    and always hands the index classes a concrete name, which this
+    function leaves untouched.  The ``cache_key()`` hooks on the index
+    classes rely on that: a cached index's identity always carries the
+    concrete backend that built it.
     """
     return "cover-tree" if backend == "auto" else backend
 
@@ -60,15 +63,19 @@ def make_decomposition(
 ) -> SpatialDecomposition:
     """Build the spatial decomposition for a point set.
 
-    ``backend`` is ``"cover-tree"``, ``"grid"`` or ``"auto"`` (cover tree,
-    the paper's general-metric structure).
+    ``backend`` is ``"auto"`` (cover tree, the paper's general-metric
+    structure) or the name of any *spatial* backend registered on the
+    backend registry — ``"cover-tree"`` and ``"grid"`` out of the box.
+    Unknown names raise :class:`~repro.errors.BackendError` listing the
+    registered spatial backends.
     """
+    # Imported here, not at module scope: the registry's built-in
+    # descriptors construct the index classes, which import this module.
+    from ..backends.registry import default_registry
+
     backend = resolve_backend(backend)
-    if backend == "cover-tree":
-        return CoverTreeDecomposition(tps.points, tps.metric, resolution)
-    if backend == "grid":
-        return GridDecomposition(tps.points, tps.metric, resolution)
-    raise BackendError(f"unknown spatial backend {backend!r}")
+    descriptor = default_registry().get_spatial(backend)
+    return descriptor.decomposition_factory(tps.points, tps.metric, resolution)
 
 
 @dataclass(slots=True)

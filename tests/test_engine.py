@@ -150,14 +150,19 @@ class TestPlanner:
         )
         assert len(distinct_index_keys(plans)) == 2
 
-    def test_auto_and_explicit_cover_tree_share(self, small_tps):
+    def test_auto_shares_with_its_resolved_explicit_backend(self, small_tps):
+        # ``auto`` resolves through the registry's cost model to a
+        # concrete backend name; a query naming that backend explicitly
+        # must land on the same cached index.
+        from repro.backends import default_registry
+
+        spec = QuerySpec(kind="triangles", taus=3.0, backend="auto")
+        resolved = default_registry().resolve(spec, small_tps).name
         plans = plan_batch(
-            [
-                QuerySpec(kind="triangles", taus=3.0, backend="auto"),
-                QuerySpec(kind="triangles", taus=3.0, backend="cover-tree"),
-            ],
+            [spec, QuerySpec(kind="triangles", taus=3.0, backend=resolved)],
             small_tps,
         )
+        assert plans[0].key.backend == resolved
         assert len(distinct_index_keys(plans)) == 1
 
     def test_pattern_kinds_share_one_index(self, small_tps):
@@ -582,8 +587,10 @@ class TestQueryEngine:
             4: find_sum_durable_pairs(tps, 6.0),
             5: find_union_durable_pairs(tps, 4.0, kappa=2),
             6: find_union_durable_pairs(tps, 4.0, kappa=3),
-            7: find_durable_cliques(tps, 3, 3.0),
-            8: find_durable_cliques(tps, 4, 4.0),
+            # The core helper builds its PatternIndex directly, so pin it
+            # to the backend the engine's registry resolution picked.
+            7: find_durable_cliques(tps, 3, 3.0, backend=batch[7].key.backend),
+            8: find_durable_cliques(tps, 4, 4.0, backend=batch[8].key.backend),
         }
         for i, records in expect.items():
             assert [r.key for r in batch[i].records] == [r.key for r in records], i
