@@ -118,6 +118,13 @@ def main() -> int:
             f"{connections['keepalive_reuses']} keep-alive reuses — "
             "register, query and stats all rode this one socket"
         )
+        identity = stats["server"]["identity"]
+        print(
+            f"served by: pid {identity['pid']} on "
+            f"{identity['host']}:{identity['port']}, up "
+            f"{identity['started_age_seconds']:.1f}s — the identity block "
+            "a routing tier uses to attribute aggregated counters"
+        )
     finally:
         conn.close()
         if handle is not None:

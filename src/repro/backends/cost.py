@@ -151,6 +151,37 @@ class CostModel:
         coef = self.coefficients.get(backend, FALLBACK_COEFFICIENTS)
         return features.unit * (coef.build + features.n_taus * coef.query)
 
+    def placement_weight(
+        self,
+        features: QueryFeatures,
+        backend_names: Optional[Iterable[str]] = None,
+    ) -> float:
+        """Rendezvous weight of one worker for one dataset shape.
+
+        The routing tier places each dataset on a worker by weighted
+        rendezvous hashing; this is the weight: the reciprocal of the
+        cheapest estimated cost any backend the worker *hosts* could
+        serve the shape at (``backend_names=None`` means the worker
+        hosts everything this model knows about).  Faster workers —
+        i.e. workers advertising a backend that is cheap for this
+        shape — therefore attract proportionally more datasets, while
+        staying a pure, deterministic function of ``(shape, backends)``
+        so placement survives router restarts unchanged.
+        """
+        names = list(backend_names) if backend_names is not None else list(
+            self.coefficients
+        )
+        if not names:
+            # A worker advertising nothing is still placeable (the cost
+            # model may simply not know its backends): fallback pricing.
+            return 1.0 / max(
+                features.unit
+                * (FALLBACK_COEFFICIENTS.build + FALLBACK_COEFFICIENTS.query),
+                1e-12,
+            )
+        best = min(self.estimate(name, features) for name in names)
+        return 1.0 / max(best, 1e-12)
+
     def as_dict(self) -> Dict[str, Dict[str, float]]:
         return {name: c.as_dict() for name, c in self.coefficients.items()}
 

@@ -15,6 +15,7 @@ Commands::
     python -m repro stream     --tau 6
     python -m repro batch      queries.json --output results.json
     python -m repro serve      --port 8765 --dataset 'soc={"workload":"social","n":400}'
+    python -m repro route      --port 8766 --workers 4
 
 Backend dispatch is uniform across the CLI: every query-running command
 takes ``--backend`` (default ``auto`` — the registry's cost model picks
@@ -41,6 +42,12 @@ datasets are registered — at boot via ``--dataset NAME=SPEC`` or at
 runtime via ``POST /datasets`` — each on its own shard (private index
 cache, thread pool, bounded admission queue), and queries stream back
 as NDJSON over HTTP.
+
+``route`` runs the multi-process routing tier (:mod:`repro.router`):
+``--workers N`` serve processes are spawned on loopback ports and
+supervised (restart-with-replay on death), datasets are placed by
+cost-weighted rendezvous hashing, and the same NDJSON protocol is
+exposed on one public port.
 """
 
 from __future__ import annotations
@@ -171,6 +178,40 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="requests served on one connection before the "
                             "server closes it (default: 1000)")
+
+    p_rt = sub.add_parser(
+        "route",
+        help="run the multi-process routing tier (N serve workers behind "
+             "one port)",
+    )
+    p_rt.add_argument("--host", default="127.0.0.1", help="router bind address")
+    p_rt.add_argument("--port", type=int, default=8766,
+                      help="router bind port (0 picks an ephemeral port)")
+    p_rt.add_argument("--workers", type=int, default=2,
+                      help="worker processes to spawn (each a full "
+                           "`repro serve` on a loopback port)")
+    p_rt.add_argument("--worker-backends", action="append", default=[],
+                      metavar="NAMES",
+                      help="comma-separated backend subset the i-th worker "
+                           "advertises for placement scoring ('any' = all; "
+                           "repeat per worker, in order)")
+    p_rt.add_argument("--manifest", default=None, metavar="PATH",
+                      help="persist the placement manifest to PATH; an "
+                           "existing manifest is restored at boot")
+    p_rt.add_argument("--probe-interval", type=float, default=None,
+                      metavar="SECONDS",
+                      help="supervision tick: liveness poll + /health probe "
+                           "(default: 0.5)")
+    p_rt.add_argument("--dataset", action="append", default=[],
+                      metavar="NAME=SPEC",
+                      help="register a dataset at boot; SPEC is the JSON "
+                           "accepted by POST /datasets (repeatable)")
+    p_rt.add_argument("--queue-limit", type=int, default=None,
+                      help="per-shard admission bound, forwarded to every "
+                           "worker")
+    p_rt.add_argument("--max-entries", type=int, default=None,
+                      help="per-shard resident-index bound, forwarded to "
+                           "every worker")
     return parser
 
 
@@ -411,6 +452,68 @@ def _run_serve(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _parse_worker_backends(entries: List[str]) -> Optional[List[Optional[List[str]]]]:
+    """Parse repeated ``--worker-backends NAMES`` flags (one per worker)."""
+    if not entries:
+        return None
+    parsed: List[Optional[List[str]]] = []
+    for entry in entries:
+        if entry.strip().lower() in ("any", "all", "*"):
+            parsed.append(None)
+            continue
+        names = [name.strip() for name in entry.split(",") if name.strip()]
+        if not names:
+            raise ValidationError(
+                f"--worker-backends expects comma-separated backend names "
+                f"or 'any', got {entry!r}"
+            )
+        parsed.append(names)
+    return parsed
+
+
+def _run_route(args: argparse.Namespace, out) -> int:
+    from .router import run_router
+
+    serve_args: List[str] = []
+    if args.queue_limit is not None:
+        serve_args += ["--queue-limit", str(args.queue_limit)]
+    if args.max_entries is not None:
+        serve_args += ["--max-entries", str(args.max_entries)]
+    route_kwargs = {}
+    if args.probe_interval is not None:
+        route_kwargs["probe_interval"] = args.probe_interval
+
+    def announce(host: str, port: int, app) -> None:
+        statuses = app.pool.statuses()
+        print(f"routing on http://{host}:{port}", file=out)
+        for status in statuses:
+            print(
+                f"  {status.slot}: pid {status.pid} on "
+                f"{status.host}:{status.port}",
+                file=out,
+            )
+        names = app.manifest.names()
+        print(
+            f"datasets: {', '.join(names) if names else '(none — POST /datasets)'}",
+            file=out,
+        )
+        out.flush()
+
+    run_router(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        worker_backends=_parse_worker_backends(args.worker_backends),
+        manifest_path=args.manifest,
+        serve_args=serve_args,
+        datasets=_parse_boot_datasets(args.dataset),
+        announce=announce,
+        **route_kwargs,
+    )
+    print("router stopped", file=out)
+    return 0
+
+
 def _timed(label: str, fn, out=sys.stdout):
     t0 = time.perf_counter()
     result = fn()
@@ -444,6 +547,8 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
             return _run_batch(args, out)
         if args.command == "serve":
             return _run_serve(args, out)
+        if args.command == "route":
+            return _run_route(args, out)
         if args.command == "backends":
             return _run_backends(args, out)
         tps = load_workload(args)

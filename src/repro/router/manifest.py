@@ -1,0 +1,151 @@
+"""The placement manifest: which worker owns which dataset.
+
+The manifest is the router's single source of truth for ownership.  It
+records, per dataset, the owning worker slot and the original
+registration payload (the ``POST /datasets`` body), which is exactly
+what restart-with-replay needs: when a worker dies, the supervisor
+replays every payload the manifest says the dead worker owned onto its
+replacement (with ``replace=True``, so replay is idempotent against
+half-restored state).
+
+With a ``path`` the manifest also persists itself — one atomic JSON
+write per mutation — so a *router* restart can rebuild the whole fleet
+layout: at boot every persisted entry is re-placed (deterministic HRW
+⇒ same worker for an unchanged fleet) and re-registered.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..errors import ValidationError
+
+__all__ = ["ManifestEntry", "PlacementManifest"]
+
+
+@dataclass(frozen=True)
+class ManifestEntry:
+    """One placement record: dataset name, owner slot, replayable payload."""
+
+    name: str
+    worker: str
+    payload: Dict[str, Any]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "worker": self.worker, "payload": self.payload}
+
+
+class PlacementManifest:
+    """Thread-safe name → :class:`ManifestEntry` map, optionally persisted.
+
+    Mutations come from the router's event loop (register/delete) and
+    reads from the supervisor thread (replay), hence the lock.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[str, ManifestEntry] = {}
+        self.path = path
+        if path is not None and os.path.exists(path):
+            self._load(path)
+
+    # ------------------------------------------------------------------
+    def record(
+        self, name: str, worker: str, payload: Mapping[str, Any]
+    ) -> Optional[ManifestEntry]:
+        """Record (or move) a placement; returns the entry it displaced.
+
+        ``payload`` is stored without its ``replace`` flag — replay
+        always forces ``replace=True`` itself, and a stale ``replace``
+        from the original request must not leak into later replays.
+        """
+        clean = {k: v for k, v in dict(payload).items() if k != "replace"}
+        entry = ManifestEntry(name=name, worker=worker, payload=clean)
+        with self._lock:
+            old = self._entries.get(name)
+            self._entries[name] = entry
+            self._save_locked()
+        return old
+
+    def remove(self, name: str) -> Optional[ManifestEntry]:
+        with self._lock:
+            old = self._entries.pop(name, None)
+            if old is not None:
+                self._save_locked()
+        return old
+
+    def get(self, name: str) -> Optional[ManifestEntry]:
+        with self._lock:
+            return self._entries.get(name)
+
+    def owned_by(self, worker: str) -> List[ManifestEntry]:
+        """Every entry the given worker slot owns (replay set)."""
+        with self._lock:
+            return [e for e in self._entries.values() if e.worker == worker]
+
+    def entries(self) -> List[ManifestEntry]:
+        with self._lock:
+            return list(self._entries.values())
+
+    def placements(self) -> Dict[str, str]:
+        """``dataset name -> worker slot`` (the ``/stats`` view)."""
+        with self._lock:
+            return {name: e.worker for name, e in sorted(self._entries.items())}
+
+    def names(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._entries))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    # ------------------------------------------------------------------
+    def _save_locked(self) -> None:
+        if self.path is None:
+            return
+        doc = {"datasets": [e.as_dict() for e in self._entries.values()]}
+        # Atomic replace: a crash mid-write must never leave a torn
+        # manifest (the file is what a router restart trusts).
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "w") as fh:
+            json.dump(doc, fh, indent=2)
+        os.replace(tmp, self.path)
+
+    def _load(self, path: str) -> None:
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValidationError(
+                f"cannot load placement manifest {path!r}: {exc}"
+            ) from exc
+        entries = doc.get("datasets") if isinstance(doc, Mapping) else None
+        if not isinstance(entries, list):
+            raise ValidationError(
+                f"placement manifest {path!r} must be "
+                "{'datasets': [{'name', 'worker', 'payload'}, ...]}"
+            )
+        for raw in entries:
+            if (
+                not isinstance(raw, Mapping)
+                or not isinstance(raw.get("name"), str)
+                or not isinstance(raw.get("worker"), str)
+                or not isinstance(raw.get("payload"), Mapping)
+            ):
+                raise ValidationError(
+                    f"malformed placement manifest entry in {path!r}: {raw!r}"
+                )
+            self._entries[raw["name"]] = ManifestEntry(
+                name=raw["name"],
+                worker=raw["worker"],
+                payload=dict(raw["payload"]),
+            )

@@ -1,0 +1,738 @@
+"""The routing front end: one public port over N worker processes.
+
+:class:`RouterApp` speaks the exact same NDJSON-over-HTTP protocol as
+the single-process serve layer — clients cannot tell the difference —
+but owns **placement** instead of shards:
+
+* ``POST   /datasets`` picks the owning worker by cost-weighted
+  rendezvous hashing (:mod:`repro.router.placement`), forwards the
+  registration, and records the placement in the manifest that
+  restart-with-replay trusts;
+* ``POST   /query`` proxies the owning worker's chunked NDJSON stream
+  line by line — per-query fault isolation and incremental τ-sweep
+  delivery survive the extra hop, and a worker dying mid-stream
+  surfaces as a cleanly truncated chunked body (no terminal 0-chunk),
+  exactly like a direct serve crash would;
+* ``DELETE /datasets/<name>`` forwards to the owner and releases the
+  placement (the rebalancing primitive);
+* ``GET    /stats`` fans out to every worker and aggregates their
+  stats — connections, per-backend counters, identity — under a
+  ``workers`` key, next to the router's own placement and proxy
+  counters;
+* ``POST   /shutdown`` drains the router's connections, then fans the
+  shutdown out to the fleet.
+
+Queries that race a dead or restarting worker get ``503`` +
+``Retry-After`` (via :class:`~repro.serve.server.UnavailableError`),
+never a hang: connects to a dead loopback port fail fast, restarting
+slots are flagged by the supervisor, and one transparent retry on a
+stale pooled connection separates "worker closed an idle socket" from
+"worker is gone".
+
+Upstream connections are pooled per ``(slot, generation)`` — the
+router holds keep-alive sockets to each worker just like clients hold
+them to the router — and a worker restart (new generation) strands the
+old generation's sockets, which then fail their next use and are
+discarded.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import deque
+from typing import Any, Deque, Dict, Optional, Tuple
+from urllib.parse import quote, unquote
+
+from ..backends import default_registry
+from ..backends.cost import CostModel
+from ..errors import ValidationError
+from ..serve.http import (
+    ProtocolError,
+    Request,
+    end_chunked,
+    start_stream,
+)
+from ..serve.registry import UnknownDatasetError
+from ..serve.server import (
+    DEFAULT_DRAIN_TIMEOUT,
+    DEFAULT_IDLE_TIMEOUT,
+    DEFAULT_MAX_REQUESTS_PER_CONNECTION,
+    AsyncApp,
+    ConnectionState,
+    UnavailableError,
+)
+from .manifest import PlacementManifest
+from .placement import choose_worker, features_from_spec, placement_scores
+from .supervisor import WorkerPool, WorkerStatus, worker_request
+
+__all__ = ["RouterApp"]
+
+#: Seconds to establish a TCP connection to a worker.  Loopback either
+#: connects instantly or refuses instantly; anything slower means the
+#: worker is in real trouble and 503 is the right answer.
+CONNECT_TIMEOUT = 5.0
+
+#: Seconds for a worker to answer a proxied *non-streaming* round trip
+#: (register may materialise a workload, so it gets a generous bound).
+UPSTREAM_TIMEOUT = 120.0
+
+#: Seconds for one worker's /stats during aggregation fan-out; a slow
+#: worker degrades to an error entry instead of stalling the response.
+STATS_TIMEOUT = 5.0
+
+#: Everything that can go wrong talking to a worker over a socket.
+_UPSTREAM_ERRORS = (
+    OSError,
+    ConnectionError,
+    asyncio.IncompleteReadError,
+    asyncio.TimeoutError,
+)
+
+
+class RouterApp(AsyncApp):
+    """Route client requests onto the worker pool."""
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        manifest: Optional[PlacementManifest] = None,
+        cost_model: Optional[CostModel] = None,
+        idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
+        max_requests_per_connection: int = DEFAULT_MAX_REQUESTS_PER_CONNECTION,
+        drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+    ) -> None:
+        super().__init__(
+            idle_timeout=idle_timeout,
+            max_requests_per_connection=max_requests_per_connection,
+            drain_timeout=drain_timeout,
+        )
+        self.pool = pool
+        self.manifest = manifest if manifest is not None else pool.manifest
+        # The same calibrated cost model that drives backend="auto"
+        # scores (dataset shape, worker backends) for placement.
+        self.cost_model = (
+            cost_model if cost_model is not None else default_registry().cost_model
+        )
+        self.proxied_queries = 0
+        self.proxy_unavailable = 0
+        self.registrations = 0
+        self.deletions = 0
+        #: Idle upstream keep-alive sockets per (slot, generation).
+        self._upstream: Dict[
+            Tuple[str, int],
+            Deque[Tuple[asyncio.StreamReader, asyncio.StreamWriter]],
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # Upstream connection management
+    # ------------------------------------------------------------------
+    def _worker_for(self, name: str) -> Tuple[str, WorkerStatus]:
+        """The (slot, live status) owning ``name``; 404/503 otherwise."""
+        entry = self.manifest.get(name)
+        if entry is None:
+            registered = ", ".join(self.manifest.names()) or "(none)"
+            raise UnknownDatasetError(
+                f"unknown dataset {name!r}; registered: {registered}"
+            )
+        status = self.pool.status(entry.worker)
+        if not status.running:
+            self.proxy_unavailable += 1
+            raise UnavailableError(
+                f"worker {entry.worker!r} owning dataset {name!r} is "
+                "restarting; retry shortly",
+                retry_after=2.0,
+            )
+        return entry.worker, status
+
+    async def _connect(
+        self, status: WorkerStatus
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        try:
+            return await asyncio.wait_for(
+                asyncio.open_connection(status.host, status.port),
+                CONNECT_TIMEOUT,
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            self.proxy_unavailable += 1
+            raise UnavailableError(
+                f"worker {status.slot!r} at {status.host}:{status.port} is not "
+                f"accepting connections ({type(exc).__name__}); retry shortly",
+                retry_after=2.0,
+            ) from exc
+
+    def _pool_key(self, status: WorkerStatus) -> Tuple[str, int]:
+        return (status.slot, status.generation)
+
+    def _take_pooled(
+        self, status: WorkerStatus
+    ) -> Optional[Tuple[asyncio.StreamReader, asyncio.StreamWriter]]:
+        idle = self._upstream.get(self._pool_key(status))
+        while idle:
+            reader, writer = idle.popleft()
+            if writer.is_closing() or reader.at_eof():
+                writer.close()
+                continue
+            return reader, writer
+        return None
+
+    def _release(
+        self,
+        status: WorkerStatus,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        reusable: bool,
+    ) -> None:
+        # A restart bumped the slot's generation: sockets pooled for the
+        # dead process will never be taken again — close them now so a
+        # flapping worker can't leak one deque of FDs per restart.
+        key = self._pool_key(status)
+        stale = [k for k in self._upstream if k[0] == status.slot and k != key]
+        for stale_key in stale:
+            for _reader, stale_writer in self._upstream.pop(stale_key):
+                stale_writer.close()
+        if reusable and not writer.is_closing():
+            self._upstream.setdefault(key, deque()).append((reader, writer))
+        else:
+            writer.close()
+
+    def _close_upstream(self) -> None:
+        for idle in self._upstream.values():
+            for _reader, writer in idle:
+                writer.close()
+        self._upstream.clear()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    async def _send_upstream(
+        writer: asyncio.StreamWriter,
+        status: WorkerStatus,
+        method: str,
+        path: str,
+        body: bytes,
+    ) -> None:
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {status.host}:{status.port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    @staticmethod
+    async def _read_upstream_head(
+        reader: asyncio.StreamReader,
+    ) -> Tuple[int, Dict[str, str]]:
+        line = await reader.readline()
+        if not line:
+            raise ConnectionError("worker closed the connection")
+        parts = line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ConnectionError(f"malformed worker status line: {line!r}")
+        headers: Dict[str, str] = {}
+        while True:
+            hline = await reader.readline()
+            if hline in (b"\r\n", b"\n"):
+                break
+            if not hline:
+                raise ConnectionError("worker closed mid-headers")
+            name, _sep, value = hline.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return int(parts[1]), headers
+
+    async def _upstream_request(
+        self,
+        status: WorkerStatus,
+        method: str,
+        path: str,
+        body: bytes,
+        head_timeout: float,
+    ) -> Tuple[int, Dict[str, str], asyncio.StreamReader, asyncio.StreamWriter]:
+        """Acquire a connection, send one request, read the response head.
+
+        One shared retry policy for JSON round trips and streamed
+        queries alike: a stale pooled socket (the worker idle-timed it
+        out, or its request cap closed it) gets one transparent retry
+        on a fresh connection; a fresh connection failing means the
+        worker is actually gone → 503.  The caller owns the returned
+        connection — it must consume the body and then
+        :meth:`_release` (or close) it.
+        """
+        for attempt in ("pooled", "fresh"):
+            conn = self._take_pooled(status) if attempt == "pooled" else None
+            pooled = conn is not None
+            if conn is None:
+                conn = await self._connect(status)
+            reader, writer = conn
+            try:
+                await self._send_upstream(writer, status, method, path, body)
+                code, headers = await asyncio.wait_for(
+                    self._read_upstream_head(reader), head_timeout
+                )
+            except _UPSTREAM_ERRORS as exc:
+                writer.close()
+                if pooled:
+                    continue  # stale keep-alive socket: retry fresh once
+                self.proxy_unavailable += 1
+                raise UnavailableError(
+                    f"worker {status.slot!r} dropped the proxied request "
+                    f"({type(exc).__name__}); retry shortly",
+                    retry_after=2.0,
+                ) from exc
+            return code, headers, reader, writer
+        raise AssertionError("unreachable: fresh attempt returns or raises")
+
+    async def _read_upstream_body(
+        self,
+        status: WorkerStatus,
+        headers: Dict[str, str],
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        timeout: float,
+    ) -> bytes:
+        """Consume a ``Content-Length`` body and release the connection."""
+        try:
+            length = int(headers.get("content-length", "0"))
+            raw = await asyncio.wait_for(reader.readexactly(length), timeout)
+        except _UPSTREAM_ERRORS as exc:
+            # The head arrived but the body did not: the worker really
+            # failed mid-response; no retry.
+            writer.close()
+            self.proxy_unavailable += 1
+            raise UnavailableError(
+                f"worker {status.slot!r} dropped the proxied reply "
+                f"({type(exc).__name__}); retry shortly",
+                retry_after=2.0,
+            ) from exc
+        keep = headers.get("connection", "keep-alive").lower() != "close"
+        self._release(status, reader, writer, reusable=keep)
+        return raw
+
+    async def _roundtrip(
+        self,
+        status: WorkerStatus,
+        method: str,
+        path: str,
+        payload: Optional[Any] = None,
+        timeout: float = UPSTREAM_TIMEOUT,
+    ) -> Tuple[int, Any]:
+        """One JSON round trip to a worker over a pooled connection."""
+        body = json.dumps(payload).encode() if payload is not None else b""
+        code, headers, reader, writer = await self._upstream_request(
+            status, method, path, body, timeout
+        )
+        raw = await self._read_upstream_body(
+            status, headers, reader, writer, timeout
+        )
+        try:
+            doc = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            doc = {"error": raw.decode("utf-8", "replace")}
+        return code, doc
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, request: Request, writer: asyncio.StreamWriter, state: ConnectionState
+    ) -> None:
+        route = (request.method, request.path)
+        if route == ("GET", "/health"):
+            statuses = self.pool.statuses()
+            await self._respond(
+                writer,
+                state,
+                200,
+                {
+                    "ok": True,
+                    "role": "router",
+                    "workers": {
+                        "total": len(statuses),
+                        "alive": sum(1 for s in statuses if s.running),
+                    },
+                    "datasets": len(self.manifest),
+                },
+            )
+        elif route == ("GET", "/stats"):
+            await self._respond(writer, state, 200, await self._aggregate_stats())
+        elif route == ("GET", "/datasets"):
+            await self._respond(
+                writer,
+                state,
+                200,
+                {
+                    "datasets": [
+                        {
+                            "name": entry.name,
+                            "worker": entry.worker,
+                            "dataset": entry.payload.get("dataset"),
+                        }
+                        for entry in sorted(
+                            self.manifest.entries(), key=lambda e: e.name
+                        )
+                    ]
+                },
+            )
+        elif route == ("POST", "/datasets"):
+            await self._handle_register(request, writer, state)
+        elif request.path.startswith("/datasets/") and len(request.path) > 10:
+            if request.method != "DELETE":
+                raise ProtocolError(
+                    405, f"{request.method} not allowed on {request.path}"
+                )
+            await self._handle_unregister(request, writer, state)
+        elif route == ("POST", "/query"):
+            await self._handle_query(request, writer, state)
+        elif route == ("POST", "/shutdown"):
+            state.keep_alive = False
+            await self._respond(writer, state, 200, {"ok": True, "stopping": True})
+            self._shutdown.set()
+        elif request.path in ("/health", "/stats", "/datasets", "/query", "/shutdown"):
+            raise ProtocolError(405, f"{request.method} not allowed on {request.path}")
+        else:
+            raise ProtocolError(404, f"no route for {request.path!r}")
+
+    # ------------------------------------------------------------------
+    def _place(self, name: str, dataset_spec: Any) -> str:
+        return choose_worker(
+            name,
+            features_from_spec(dataset_spec),
+            self.pool.candidates(),
+            self.cost_model,
+        )
+
+    async def _handle_register(
+        self, request: Request, writer: asyncio.StreamWriter, state: ConnectionState
+    ) -> None:
+        doc = request.json()
+        if (
+            not isinstance(doc, dict)
+            or not isinstance(doc.get("name"), str)
+            or "dataset" not in doc
+        ):
+            raise ProtocolError(
+                400, "register body must be {'name': ..., 'dataset': {spec}}"
+            )
+        name = doc["name"]
+        replace = bool(doc.get("replace", False))
+        existing = self.manifest.get(name)
+        if existing is not None and not replace:
+            # Mirror the worker's own duplicate answer without a hop —
+            # the owning worker may not even be the placement target
+            # anymore (e.g. the fleet size changed across a restart).
+            await self._respond(
+                writer,
+                state,
+                409,
+                {
+                    "error": f"dataset {name!r} is already registered; "
+                    "pass replace to overwrite"
+                },
+            )
+            return
+        slot = self._place(name, doc.get("dataset"))
+        status = self.pool.status(slot)
+        if not status.running:
+            self.proxy_unavailable += 1
+            raise UnavailableError(
+                f"placement chose worker {slot!r}, which is restarting; "
+                "retry shortly",
+                retry_after=2.0,
+            )
+        code, body = await self._roundtrip(
+            status, "POST", "/datasets", dict(doc, replace=replace)
+        )
+        if code == 201:
+            self.registrations += 1
+            old = self.manifest.record(name, slot, doc)
+            if old is not None and old.worker != slot:
+                # replace=True moved the dataset (fleet changed since it
+                # was placed): evict the stale shard, best-effort.
+                await self._forward_delete(old.worker, name)
+            if isinstance(body, dict):
+                body["worker"] = slot
+        await self._respond(writer, state, code, body)
+
+    async def _forward_delete(self, slot: str, name: str) -> Tuple[int, Any]:
+        """Best-effort ``DELETE`` on a worker; unreachable workers are
+        fine (their next restart replays only what the manifest says)."""
+        try:
+            status = self.pool.status(slot)
+        except ValidationError:
+            return 0, None
+        if not status.running:
+            return 0, None
+        try:
+            # Names may hold spaces etc. (only "/" is banned): percent-
+            # encode for the request line, mirroring the worker's unquote.
+            return await self._roundtrip(
+                status, "DELETE", f"/datasets/{quote(name, safe='')}",
+                timeout=30.0,
+            )
+        except UnavailableError:
+            return 0, None
+
+    async def _handle_unregister(
+        self, request: Request, writer: asyncio.StreamWriter, state: ConnectionState
+    ) -> None:
+        name = unquote(request.path[len("/datasets/"):])
+        entry = self.manifest.get(name)
+        if entry is None:
+            registered = ", ".join(self.manifest.names()) or "(none)"
+            raise UnknownDatasetError(
+                f"unknown dataset {name!r}; registered: {registered}"
+            )
+        code, body = await self._forward_delete(entry.worker, name)
+        # The manifest entry goes regardless: once the operator deletes
+        # a dataset, a later worker restart must not resurrect it.  An
+        # unreachable worker's stale shard dies with its process.
+        self.manifest.remove(name)
+        self.deletions += 1
+        payload: Dict[str, Any] = {"removed": name, "worker": entry.worker}
+        if code == 200 and isinstance(body, dict):
+            payload["dataset"] = body.get("removed")
+        elif code == 0:
+            payload["worker_unreachable"] = True
+        await self._respond(writer, state, 200, payload)
+
+    # ------------------------------------------------------------------
+    async def _handle_query(
+        self, request: Request, writer: asyncio.StreamWriter, state: ConnectionState
+    ) -> None:
+        doc = request.json()
+        if not isinstance(doc, dict):
+            raise ProtocolError(400, "query body must be a JSON object")
+        name = doc.get("dataset")
+        if isinstance(name, dict):
+            raise ProtocolError(
+                400,
+                "inline dataset specs are not accepted here; register the "
+                "dataset via POST /datasets and query it by name",
+            )
+        if not isinstance(name, str):
+            raise ProtocolError(400, "query body needs a 'dataset' name")
+        _slot, status = self._worker_for(name)
+        code, up_headers, up_reader, up_writer = await self._upstream_request(
+            status, "POST", "/query", request.body, UPSTREAM_TIMEOUT
+        )
+
+        if up_headers.get("transfer-encoding", "").lower() != "chunked":
+            # Non-streaming answer (400/404/429/…): relay it whole.
+            raw = await self._read_upstream_body(
+                status, up_headers, up_reader, up_writer, UPSTREAM_TIMEOUT
+            )
+            try:
+                payload = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                payload = {"error": raw.decode("utf-8", "replace")}
+            extra = {}
+            if code in (429, 503) and "retry-after" in up_headers:
+                extra["Retry-After"] = up_headers["retry-after"]
+            await self._respond(
+                writer, state, code, payload, extra_headers=extra or None
+            )
+            return
+
+        # Streaming answer: re-frame the worker's chunked NDJSON to the
+        # client chunk by chunk.  Every chunk is one NDJSON line, so the
+        # incremental τ-sweep delivery survives the hop.
+        self.proxied_queries += 1
+        chunked = request.version != "HTTP/1.0"
+        if not chunked:
+            state.keep_alive = False  # raw NDJSON is close-delimited
+        await start_stream(
+            writer, code,
+            extra_headers=state.response_headers() or None,
+            close=not state.keep_alive,
+            chunked=chunked,
+        )
+        try:
+            complete = await self._relay_chunks(up_reader, writer, chunked)
+            if complete:
+                if chunked:
+                    await end_chunked(writer)
+                # Honour the worker's own close decision (e.g. its
+                # per-connection request cap) — pooling a closing
+                # socket would burn the stale-socket retry next time.
+                up_keep = (
+                    up_headers.get("connection", "keep-alive").lower() != "close"
+                )
+                self._release(status, up_reader, up_writer, reusable=up_keep)
+            else:
+                # The worker died (or its stream broke) mid-body: the
+                # client's stream is truncated without a terminator —
+                # the same contract as a direct serve crash — and this
+                # connection can't carry another response.
+                state.broken = True
+                up_writer.close()
+        except asyncio.CancelledError:
+            state.broken = True
+            up_writer.close()
+            writer.close()
+            raise
+        except Exception:
+            # Client-side write failure mid-stream: stop writing, drop
+            # both sockets (the upstream body position is unknowable).
+            state.broken = True
+            up_writer.close()
+
+    @staticmethod
+    async def _relay_chunks(
+        up_reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        chunked: bool,
+    ) -> bool:
+        """Relay one chunked body; ``True`` iff the terminal chunk arrived.
+
+        Parses the worker's chunk framing rather than blind-piping
+        bytes, so the router knows the difference between a complete
+        stream (reusable upstream socket, terminator owed to the
+        client) and a truncated one (worker died — propagate the
+        truncation).
+        """
+        try:
+            while True:
+                size_line = await up_reader.readline()
+                if not size_line.endswith(b"\r\n"):
+                    return False  # EOF mid-framing
+                try:
+                    size = int(size_line.strip().split(b";", 1)[0], 16)
+                except ValueError:
+                    return False
+                if size == 0:
+                    # Terminal chunk; consume the trailing CRLF (the
+                    # serve layer never sends trailers).
+                    await up_reader.readexactly(2)
+                    return True
+                payload = await up_reader.readexactly(size)
+                await up_reader.readexactly(2)  # chunk CRLF
+                if chunked:
+                    writer.write(
+                        f"{size:x}\r\n".encode("latin-1") + payload + b"\r\n"
+                    )
+                else:
+                    writer.write(payload)
+                await writer.drain()
+        except (OSError, ConnectionError, asyncio.IncompleteReadError):
+            return False
+
+    # ------------------------------------------------------------------
+    async def _aggregate_stats(self) -> Dict[str, Any]:
+        """Router + per-worker statistics (the ``GET /stats`` document)."""
+        supervision = self.pool.stats()
+
+        async def fetch(slot: str) -> Tuple[str, Optional[Dict[str, Any]]]:
+            status = self.pool.status(slot)
+            if not status.running:
+                return slot, None
+            try:
+                code, doc = await self._roundtrip(
+                    status, "GET", "/stats", timeout=STATS_TIMEOUT
+                )
+            except UnavailableError:
+                return slot, None
+            return slot, doc if code == 200 and isinstance(doc, dict) else None
+
+        fetched = dict(
+            await asyncio.gather(*(fetch(slot) for slot in self.pool.slots()))
+        )
+
+        workers: Dict[str, Any] = {}
+        totals = {
+            "queries_total": 0,
+            "errors_total": 0,
+            "connections_opened": 0,
+            "datasets": 0,
+        }
+        for slot, info in supervision.items():
+            doc = fetched.get(slot)
+            entry = dict(info)
+            if doc is not None:
+                server = doc.get("server", {})
+                entry["identity"] = server.get("identity")
+                entry["stats"] = doc
+                shards = doc.get("shards", {})
+                totals["datasets"] += len(shards)
+                totals["connections_opened"] += (
+                    server.get("connections", {}).get("opened", 0)
+                )
+                for shard in shards.values():
+                    totals["queries_total"] += shard.get("queries_total", 0)
+                    totals["errors_total"] += shard.get("errors_total", 0)
+            else:
+                entry["stats"] = None
+            workers[slot] = entry
+
+        router = self.server_stats()
+        router["datasets"] = len(self.manifest)
+        router["restarts_total"] = self.pool.restarts_total
+        router["proxy"] = {
+            "queries": self.proxied_queries,
+            "registrations": self.registrations,
+            "deletions": self.deletions,
+            "unavailable": self.proxy_unavailable,
+        }
+        router["placement"] = {
+            "policy": "cost-weighted rendezvous (HRW)",
+            "datasets": self.manifest.placements(),
+        }
+        return {"router": router, "workers": workers, "totals": totals}
+
+    # ------------------------------------------------------------------
+    def explain_placement(self, name: str, dataset_spec: Any) -> Dict[str, float]:
+        """Per-worker rendezvous keys for one dataset (debug/test hook)."""
+        return placement_scores(
+            name,
+            features_from_spec(dataset_spec),
+            self.pool.candidates(),
+            self.cost_model,
+        )
+
+    def bootstrap(self) -> int:
+        """Re-register every manifest entry onto its placed worker.
+
+        Called (blocking, before the listener binds) when a router
+        starts with a persisted manifest: placement is recomputed —
+        deterministic HRW gives the same worker for an unchanged
+        fleet — the registration is replayed with ``replace=True``,
+        and the manifest is updated in case the fleet *did* change.
+        Returns the number of datasets restored.
+        """
+        restored = 0
+        for entry in self.manifest.entries():
+            slot = self._place(entry.name, entry.payload.get("dataset"))
+            status = self.pool.status(slot)
+            if not status.running:
+                continue  # supervisor will replay once the slot is back
+            payload = dict(entry.payload, replace=True)
+            code, _body = worker_request(
+                status.host, status.port, "POST", "/datasets", payload,
+                timeout=UPSTREAM_TIMEOUT,
+            )
+            if code == 201:
+                self.manifest.record(entry.name, slot, entry.payload)
+                restored += 1
+        return restored
+
+    def register_blocking(self, name: str, dataset_spec: Any) -> str:
+        """Boot-time registration (CLI ``--dataset``); returns the slot."""
+        payload = {"name": name, "dataset": dataset_spec}
+        slot = self._place(name, dataset_spec)
+        status = self.pool.status(slot)
+        code, body = worker_request(
+            status.host, status.port, "POST", "/datasets",
+            dict(payload, replace=True), timeout=UPSTREAM_TIMEOUT,
+        )
+        if code != 201:
+            raise ValidationError(
+                f"boot registration of dataset {name!r} on {slot!r} failed: "
+                f"HTTP {code} {body[:200]!r}"
+            )
+        self.manifest.record(name, slot, payload)
+        return slot
+
+    def _cleanup(self) -> None:
+        self._close_upstream()
+        self.pool.stop(graceful=True)

@@ -35,9 +35,12 @@ from .server import (
     DEFAULT_DRAIN_TIMEOUT,
     DEFAULT_IDLE_TIMEOUT,
     DEFAULT_MAX_REQUESTS_PER_CONNECTION,
+    AsyncApp,
     ServeApp,
     ServerHandle,
+    UnavailableError,
     run_server,
+    start_app_thread,
     start_server_thread,
 )
 
@@ -54,8 +57,11 @@ __all__ = [
     "DEFAULT_IDLE_TIMEOUT",
     "DEFAULT_MAX_REQUESTS_PER_CONNECTION",
     "DEFAULT_DRAIN_TIMEOUT",
+    "AsyncApp",
     "ServeApp",
     "ServerHandle",
+    "UnavailableError",
     "run_server",
+    "start_app_thread",
     "start_server_thread",
 ]

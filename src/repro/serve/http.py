@@ -56,6 +56,8 @@ STATUS_REASONS = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
 }
 
 #: Also the ``limit=`` the server passes to :func:`asyncio.start_server`,

@@ -318,6 +318,25 @@ class DatasetRegistry:
             )
         return shard
 
+    def remove(self, name: str) -> DatasetShard:
+        """Unregister ``name`` and close its shard (``DELETE /datasets/…``).
+
+        Closing waits for the shard's running queries (their admission
+        slots release via done-callbacks) and cancels queued work, then
+        the shard's index cache is dropped so its indexes can be
+        reclaimed.  The name is immediately free for re-registration.
+        Raises :class:`UnknownDatasetError` for names never registered.
+        """
+        with self._lock:
+            shard = self._shards.pop(name, None)
+        if shard is None:
+            raise UnknownDatasetError(
+                f"unknown dataset {name!r}; registered: {self.names() or '(none)'}"
+            )
+        shard.close()
+        shard.cache.clear()
+        return shard
+
     def names(self) -> List[str]:
         with self._lock:
             return sorted(self._shards)

@@ -1,29 +1,40 @@
 """The asyncio serving front end: routes, streaming, lifecycle.
 
-:class:`ServeApp` wires the sharded :class:`~repro.serve.registry.
-DatasetRegistry` and the bounded async bridge into an HTTP/NDJSON
-protocol:
+Two layers live here.  :class:`AsyncApp` is the protocol half — the
+HTTP/1.1 keep-alive connection loop, error→status mapping, graceful
+drain and lifecycle — with routing left abstract; it exists so other
+front ends (the multi-process router in :mod:`repro.router`) can reuse
+the hardened connection handling without dragging in a dataset
+registry.  :class:`ServeApp` is the serving half: it wires the sharded
+:class:`~repro.serve.registry.DatasetRegistry` and the bounded async
+bridge into an HTTP/NDJSON protocol:
 
-* ``GET  /health``   — liveness probe (used by CI to await boot);
-* ``GET  /datasets`` — registered dataset identities;
-* ``POST /datasets`` — register ``{"name": ..., "dataset": {spec}}``
+* ``GET    /health``   — liveness probe (used by CI to await boot);
+* ``GET    /datasets`` — registered dataset identities;
+* ``POST   /datasets`` — register ``{"name": ..., "dataset": {spec}}``
   (optional ``"default_backend"``: a registered backend injected into
   queries against this dataset that name none — explicit per-query
   backends always win, kinds the backend cannot serve stay on ``auto``,
   and a metric-incompatible default is rejected here, at registration);
-* ``POST /query``    — ``{"dataset": ..., "queries": [QuerySpec...]}``,
+* ``DELETE /datasets/<name>`` — unregister: the shard is closed, its
+  index cache and thread pool freed; unknown names get 404.  In-flight
+  queries on the shard finish (admission slots release via their
+  done-callbacks); queued-but-unstarted work is cancelled;
+* ``POST   /query``    — ``{"dataset": ..., "queries": [QuerySpec...]}``,
   answered as a chunked NDJSON stream: a ``batch-start`` line, then per
   query its ``records`` lines (one per τ, so a huge τ-sweep is never
   buffered as one document) and a ``result`` status line, then a
   ``batch-end`` line with per-batch cache stats;
-* ``GET  /stats``    — per-shard cache/admission statistics (including
+* ``GET    /stats``    — per-shard cache/admission statistics (including
   per-resolved-backend build/query counters) plus the server's
-  connection counters;
-* ``POST /shutdown`` — graceful stop: new connections are refused,
+  connection counters and its **identity block** (``pid``, bound
+  address, monotonic age) so an aggregating router can attribute
+  counters to the worker process that produced them;
+* ``POST   /shutdown`` — graceful stop: new connections are refused,
   in-flight requests drain, idle keep-alive connections are closed.
 
 Connections are persistent (HTTP/1.1 keep-alive):
-:meth:`ServeApp.handle_connection` is a request loop that serves many
+:meth:`AsyncApp.handle_connection` is a request loop that serves many
 requests per socket, bounded by an idle timeout and a per-connection
 request cap, honouring ``Connection: close`` and HTTP/1.0 semantics.
 A protocol error closes the connection (framing can no longer be
@@ -38,15 +49,17 @@ batch keeps streaming.
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Mapping, Optional
+from urllib.parse import unquote
 
 from ..engine.planner import plan_batch
 from ..engine.results import QueryResult, record_to_dict
 from ..engine.spec import QuerySpec, apply_default_backend
-from ..errors import ValidationError
+from ..errors import ReproError, ValidationError
 from .bridge import OverloadedError, submit_plans
 from .http import (
     MAX_HEADER_BYTES,
@@ -69,9 +82,12 @@ from .registry import (
 
 __all__ = [
     "ConnectionState",
+    "UnavailableError",
+    "AsyncApp",
     "ServeApp",
     "ServerHandle",
     "run_server",
+    "start_app_thread",
     "start_server_thread",
     "DEFAULT_IDLE_TIMEOUT",
     "DEFAULT_MAX_REQUESTS_PER_CONNECTION",
@@ -97,6 +113,20 @@ DEFAULT_DRAIN_TIMEOUT = 5.0
 DEFAULT_BODY_TIMEOUT = 300.0
 
 
+class UnavailableError(ReproError):
+    """The request's target is temporarily gone (HTTP 503).
+
+    Raised by front ends whose backends can come and go — the router's
+    proxy uses it for queries that race a dead or restarting worker —
+    so the connection loop answers with ``503`` + ``Retry-After``
+    instead of hanging or tearing the connection down.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 @dataclass
 class ConnectionState:
     """Per-request connection bookkeeping threaded through dispatch.
@@ -118,19 +148,23 @@ class ConnectionState:
         return {}
 
 
-class ServeApp:
-    """Route requests onto the registry and the async bridge."""
+class AsyncApp:
+    """The route-agnostic half of an asyncio HTTP front end.
+
+    Owns everything that PR 3 hardened — the keep-alive request loop,
+    framing-error handling, idle/body timeouts, connection counters,
+    graceful drain and the serve/run lifecycle — and leaves
+    :meth:`_dispatch` (routing) and :meth:`_cleanup` (resource
+    teardown after drain) to subclasses.  :class:`ServeApp` routes onto
+    a dataset registry; :class:`repro.router.RouterApp` proxies onto a
+    pool of worker processes.
+    """
 
     def __init__(
         self,
-        registry: Optional[DatasetRegistry] = None,
-        max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
-        max_workers: Optional[int] = None,
-        queue_limit: int = DEFAULT_QUEUE_LIMIT,
         idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
         max_requests_per_connection: int = DEFAULT_MAX_REQUESTS_PER_CONNECTION,
         drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
-        default_backend: Optional[str] = None,
     ) -> None:
         if idle_timeout <= 0:
             raise ValidationError(
@@ -141,12 +175,6 @@ class ServeApp:
                 "max_requests_per_connection must be >= 1, got "
                 f"{max_requests_per_connection!r}"
             )
-        self.registry = registry if registry is not None else DatasetRegistry(
-            max_entries=max_entries,
-            max_workers=max_workers,
-            queue_limit=queue_limit,
-            default_backend=default_backend,
-        )
         self.idle_timeout = idle_timeout
         self.max_requests_per_connection = max_requests_per_connection
         self.drain_timeout = drain_timeout
@@ -158,6 +186,10 @@ class ServeApp:
         self.connections_opened = 0
         self.connections_active = 0
         self.keepalive_reuses = 0
+        #: Bound address, recorded when the listener comes up — the
+        #: stable identity /stats reports (aggregators key on it).
+        self.bound_host: Optional[str] = None
+        self.bound_port: Optional[int] = None
         self._shutdown = asyncio.Event()
         #: Live connection task -> is it dispatching a request right now?
         #: (Only touched from the event loop; drives graceful drain.)
@@ -239,6 +271,14 @@ class ServeApp:
                         {"error": str(exc), "retry_after": exc.retry_after},
                         extra_headers={"Retry-After": str(int(exc.retry_after) or 1)},
                     )
+                except UnavailableError as exc:
+                    await self._respond(
+                        writer,
+                        state,
+                        503,
+                        {"error": str(exc), "retry_after": exc.retry_after},
+                        extra_headers={"Retry-After": str(int(exc.retry_after) or 1)},
+                    )
                 except Exception as exc:  # noqa: BLE001 - last-resort 500
                     await self._respond(
                         writer, state, 500, {"error": f"{type(exc).__name__}: {exc}"}
@@ -278,6 +318,146 @@ class ServeApp:
     async def _dispatch(
         self, request: Request, writer: asyncio.StreamWriter, state: ConnectionState
     ) -> None:
+        raise NotImplementedError  # pragma: no cover - subclasses route
+
+    # ------------------------------------------------------------------
+    def identity(self) -> Dict[str, Any]:
+        """Stable process identity for ``/stats`` (who produced these
+        numbers): pid, bound address, monotonic age.  An aggregating
+        router keys per-worker counters on this block."""
+        return {
+            "pid": os.getpid(),
+            "host": self.bound_host,
+            "port": self.bound_port,
+            "started_age_seconds": time.monotonic() - self.started_monotonic,
+        }
+
+    def server_stats(self) -> Dict[str, Any]:
+        """The front-end-agnostic ``server`` block of ``/stats``."""
+        return {
+            "uptime_seconds": time.monotonic() - self.started_monotonic,
+            "requests_total": self.requests_total,
+            "identity": self.identity(),
+            "connections": {
+                "opened": self.connections_opened,
+                "active": self.connections_active,
+                "keepalive_reuses": self.keepalive_reuses,
+                "idle_timeout_seconds": self.idle_timeout,
+                "max_requests_per_connection": self.max_requests_per_connection,
+            },
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        return {"server": self.server_stats()}
+
+    # ------------------------------------------------------------------
+    async def serve(self, host: str, port: int) -> "asyncio.AbstractServer":
+        # limit= bounds the reader's buffer, so an oversized request head
+        # overruns readuntil() at MAX_HEADER_BYTES instead of sitting in
+        # asyncio's 64 KiB default buffer before our size check runs.
+        # (Bodies are unaffected: readexactly() drains past the limit.)
+        return await asyncio.start_server(
+            self.handle_connection, host, port, limit=MAX_HEADER_BYTES
+        )
+
+    async def _drain_connections(self) -> None:
+        """Finish in-flight requests, then cancel whatever remains.
+
+        Idle keep-alive connections (parked between requests) are
+        cancelled immediately — there is nothing to wait for.  Busy
+        connections get ``drain_timeout`` seconds to finish their
+        current response before being cancelled too.
+        """
+        busy, idle = [], []
+        for conn_task, is_busy in list(self._conn_busy.items()):
+            if conn_task.done():
+                continue
+            (busy if is_busy else idle).append(conn_task)
+        for conn_task in idle:
+            conn_task.cancel()
+        if busy:
+            _done, pending = await asyncio.wait(busy, timeout=self.drain_timeout)
+            for conn_task in pending:
+                conn_task.cancel()
+        leftovers = [t for t in (*idle, *busy) if not t.done()]
+        if leftovers:
+            await asyncio.wait(leftovers, timeout=1.0)
+
+    def _cleanup(self) -> None:
+        """Tear down the app's resources after the connection drain.
+
+        Runs in ``run_until_shutdown``'s ``finally`` even when the
+        drain itself was cancelled (Ctrl-C).  Subclasses close what
+        they own: the registry's shard executors, the router's worker
+        pool.
+        """
+
+    async def run_until_shutdown(
+        self,
+        host: str,
+        port: int,
+        on_bound: Optional[Callable[[str, int], None]] = None,
+    ) -> None:
+        """Serve until ``POST /shutdown`` (or cancellation), then clean up.
+
+        Shutdown is graceful: the listener closes first (no new
+        connections), open connections drain per
+        :meth:`_drain_connections`, and only then does :meth:`_cleanup`
+        release the app's resources.
+        """
+        server = await self.serve(host, port)
+        sockets = server.sockets or ()
+        bound = sockets[0].getsockname()[:2] if sockets else (host, port)
+        self.bound_host, self.bound_port = bound[0], bound[1]
+        if on_bound is not None:
+            on_bound(bound[0], bound[1])
+        try:
+            await self._shutdown.wait()
+        finally:
+            server.close()
+            try:
+                await self._drain_connections()
+                await server.wait_closed()
+            finally:
+                # Even if the drain itself is cancelled (Ctrl-C), the
+                # app's resources must still be torn down.
+                self._cleanup()
+
+    def request_shutdown(self) -> None:
+        """Thread-safe shutdown trigger for embedding runners."""
+        self._shutdown.set()
+
+
+class ServeApp(AsyncApp):
+    """Route requests onto the registry and the async bridge."""
+
+    def __init__(
+        self,
+        registry: Optional[DatasetRegistry] = None,
+        max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+        max_workers: Optional[int] = None,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
+        max_requests_per_connection: int = DEFAULT_MAX_REQUESTS_PER_CONNECTION,
+        drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+        default_backend: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            idle_timeout=idle_timeout,
+            max_requests_per_connection=max_requests_per_connection,
+            drain_timeout=drain_timeout,
+        )
+        self.registry = registry if registry is not None else DatasetRegistry(
+            max_entries=max_entries,
+            max_workers=max_workers,
+            queue_limit=queue_limit,
+            default_backend=default_backend,
+        )
+
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, request: Request, writer: asyncio.StreamWriter, state: ConnectionState
+    ) -> None:
         route = (request.method, request.path)
         if route == ("GET", "/health"):
             await self._respond(
@@ -299,6 +479,12 @@ class ServeApp:
             )
         elif route == ("POST", "/datasets"):
             await self._handle_register(request, writer, state)
+        elif request.path.startswith("/datasets/") and len(request.path) > 10:
+            if request.method != "DELETE":
+                raise ProtocolError(
+                    405, f"{request.method} not allowed on {request.path}"
+                )
+            await self._handle_unregister(request, writer, state)
         elif route == ("POST", "/query"):
             await self._handle_query(request, writer, state)
         elif route == ("POST", "/shutdown"):
@@ -343,6 +529,24 @@ class ServeApp:
             await self._respond(writer, state, 409, {"error": str(exc)})
             return
         await self._respond(writer, state, 201, {"registered": shard.describe()})
+
+    async def _handle_unregister(
+        self, request: Request, writer: asyncio.StreamWriter, state: ConnectionState
+    ) -> None:
+        """``DELETE /datasets/<name>`` — close the shard and forget it.
+
+        The router needs this for rebalancing (moving a dataset off a
+        worker); operators need it standalone to reclaim a shard's
+        index cache and thread pool without a restart.  Closing the
+        executor waits for running queries (their admission slots are
+        released by done-callbacks), so it runs off the event loop like
+        registration does.
+        """
+        name = unquote(request.path[len("/datasets/"):])
+        loop = asyncio.get_running_loop()
+        # Raises UnknownDatasetError -> the connection loop answers 404.
+        shard = await loop.run_in_executor(None, self.registry.remove, name)
+        await self._respond(writer, state, 200, {"removed": shard.describe()})
 
     async def _handle_query(
         self, request: Request, writer: asyncio.StreamWriter, state: ConnectionState
@@ -438,87 +642,12 @@ class ServeApp:
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
-        return {
-            "server": {
-                "uptime_seconds": time.monotonic() - self.started_monotonic,
-                "requests_total": self.requests_total,
-                "datasets": len(self.registry),
-                "connections": {
-                    "opened": self.connections_opened,
-                    "active": self.connections_active,
-                    "keepalive_reuses": self.keepalive_reuses,
-                    "idle_timeout_seconds": self.idle_timeout,
-                    "max_requests_per_connection": self.max_requests_per_connection,
-                },
-            },
-            "shards": self.registry.stats(),
-        }
+        server = self.server_stats()
+        server["datasets"] = len(self.registry)
+        return {"server": server, "shards": self.registry.stats()}
 
-    async def serve(self, host: str, port: int) -> "asyncio.AbstractServer":
-        # limit= bounds the reader's buffer, so an oversized request head
-        # overruns readuntil() at MAX_HEADER_BYTES instead of sitting in
-        # asyncio's 64 KiB default buffer before our size check runs.
-        # (Bodies are unaffected: readexactly() drains past the limit.)
-        return await asyncio.start_server(
-            self.handle_connection, host, port, limit=MAX_HEADER_BYTES
-        )
-
-    async def _drain_connections(self) -> None:
-        """Finish in-flight requests, then cancel whatever remains.
-
-        Idle keep-alive connections (parked between requests) are
-        cancelled immediately — there is nothing to wait for.  Busy
-        connections get ``drain_timeout`` seconds to finish their
-        current response before being cancelled too.
-        """
-        busy, idle = [], []
-        for conn_task, is_busy in list(self._conn_busy.items()):
-            if conn_task.done():
-                continue
-            (busy if is_busy else idle).append(conn_task)
-        for conn_task in idle:
-            conn_task.cancel()
-        if busy:
-            _done, pending = await asyncio.wait(busy, timeout=self.drain_timeout)
-            for conn_task in pending:
-                conn_task.cancel()
-        leftovers = [t for t in (*idle, *busy) if not t.done()]
-        if leftovers:
-            await asyncio.wait(leftovers, timeout=1.0)
-
-    async def run_until_shutdown(
-        self,
-        host: str,
-        port: int,
-        on_bound: Optional[Callable[[str, int], None]] = None,
-    ) -> None:
-        """Serve until ``POST /shutdown`` (or cancellation), then clean up.
-
-        Shutdown is graceful: the listener closes first (no new
-        connections), open connections drain per
-        :meth:`_drain_connections`, and only then do the shard
-        executors stop.
-        """
-        server = await self.serve(host, port)
-        if on_bound is not None:
-            sockets = server.sockets or ()
-            bound = sockets[0].getsockname()[:2] if sockets else (host, port)
-            on_bound(bound[0], bound[1])
-        try:
-            await self._shutdown.wait()
-        finally:
-            server.close()
-            try:
-                await self._drain_connections()
-                await server.wait_closed()
-            finally:
-                # Even if the drain itself is cancelled (Ctrl-C), the
-                # shard executors must still be torn down.
-                self.registry.close()
-
-    def request_shutdown(self) -> None:
-        """Thread-safe shutdown trigger for embedding runners."""
-        self._shutdown.set()
+    def _cleanup(self) -> None:
+        self.registry.close()
 
 
 def _result_lines(index: int, result: QueryResult, include_records: bool):
@@ -586,13 +715,14 @@ def run_server(
 
 
 class ServerHandle:
-    """An in-process server running on a background thread.
+    """An in-process front end running on a background thread.
 
-    Used by the tests, the bench driver and the example client: start on
-    an ephemeral port, poke it over real sockets, stop it cleanly.
+    Used by the tests, the bench drivers and the example client: start
+    on an ephemeral port, poke it over real sockets, stop it cleanly.
+    Works for any :class:`AsyncApp` (serve or router).
     """
 
-    def __init__(self, app: ServeApp, host: str, port: int,
+    def __init__(self, app: AsyncApp, host: str, port: int,
                  thread: threading.Thread, loop: asyncio.AbstractEventLoop) -> None:
         self.app = app
         self.host = host
@@ -611,6 +741,36 @@ class ServerHandle:
         self._thread.join(timeout)
         if self._thread.is_alive():  # pragma: no cover - defensive
             raise RuntimeError("server thread did not stop in time")
+
+
+def start_app_thread(
+    app: AsyncApp,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    boot_timeout: float = 15.0,
+    thread_name: str = "repro-serve",
+) -> ServerHandle:
+    """Run any :class:`AsyncApp` on a daemon thread; returns once bound."""
+    booted = threading.Event()
+    state: Dict[str, Any] = {}
+
+    def _run() -> None:
+        def on_bound(bound_host: str, bound_port: int) -> None:
+            state["host"], state["port"] = bound_host, bound_port
+            state["loop"] = asyncio.get_running_loop()
+            booted.set()
+
+        try:
+            asyncio.run(app.run_until_shutdown(host, port, on_bound=on_bound))
+        except BaseException as exc:  # pragma: no cover - surfaced via boot
+            state["error"] = exc
+            booted.set()
+
+    thread = threading.Thread(target=_run, name=thread_name, daemon=True)
+    thread.start()
+    if not booted.wait(boot_timeout) or "error" in state:
+        raise RuntimeError(f"server failed to boot: {state.get('error')!r}")
+    return ServerHandle(app, state["host"], state["port"], thread, state["loop"])
 
 
 def start_server_thread(
@@ -637,23 +797,4 @@ def start_server_thread(
         drain_timeout=drain_timeout,
         default_backend=default_backend,
     )
-    booted = threading.Event()
-    state: Dict[str, Any] = {}
-
-    def _run() -> None:
-        def on_bound(bound_host: str, bound_port: int) -> None:
-            state["host"], state["port"] = bound_host, bound_port
-            state["loop"] = asyncio.get_running_loop()
-            booted.set()
-
-        try:
-            asyncio.run(app.run_until_shutdown(host, port, on_bound=on_bound))
-        except BaseException as exc:  # pragma: no cover - surfaced via boot
-            state["error"] = exc
-            booted.set()
-
-    thread = threading.Thread(target=_run, name="repro-serve", daemon=True)
-    thread.start()
-    if not booted.wait(boot_timeout) or "error" in state:
-        raise RuntimeError(f"server failed to boot: {state.get('error')!r}")
-    return ServerHandle(app, state["host"], state["port"], thread, state["loop"])
+    return start_app_thread(app, host, port, boot_timeout=boot_timeout)

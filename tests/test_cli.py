@@ -283,3 +283,39 @@ class TestServeCommand:
                 break
             time.sleep(0.05)
         assert not thread.is_alive()
+
+
+class TestRouteCommand:
+    def test_parser_accepts_route_flags(self):
+        args = build_parser().parse_args(
+            [
+                "route", "--workers", "3", "--port", "0",
+                "--worker-backends", "grid,cover-tree",
+                "--worker-backends", "any",
+                "--manifest", "/tmp/m.json",
+                "--probe-interval", "0.3",
+                "--queue-limit", "16",
+            ]
+        )
+        assert args.command == "route" and args.workers == 3
+        assert args.worker_backends == ["grid,cover-tree", "any"]
+
+    def test_parse_worker_backends(self):
+        from repro.cli import _parse_worker_backends
+        from repro.errors import ValidationError
+
+        assert _parse_worker_backends([]) is None
+        assert _parse_worker_backends(["grid,cover-tree", "any", "*"]) == [
+            ["grid", "cover-tree"], None, None,
+        ]
+        with pytest.raises(ValidationError):
+            _parse_worker_backends([" , "])
+
+    def test_too_many_backend_subsets_rejected(self):
+        from repro.errors import ValidationError
+        from repro.router import WorkerPool
+
+        with pytest.raises(ValidationError, match="backend subsets"):
+            WorkerPool(workers=1, worker_backends=[["grid"], ["cover-tree"]])
+        with pytest.raises(ValidationError, match="at least 1 worker"):
+            WorkerPool(workers=0)

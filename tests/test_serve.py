@@ -226,6 +226,64 @@ class TestProtocol:
         status, doc = request_json(server, "POST", "/query", {})
         assert status == 400 and "dataset" in doc["error"]
 
+    def test_stats_reports_worker_identity(self, server):
+        """The identity block a routing tier attributes counters with."""
+        import os
+
+        status, doc = request_json(server, "GET", "/stats")
+        assert status == 200
+        identity = doc["server"]["identity"]
+        assert identity["pid"] == os.getpid()  # in-process fixture server
+        assert identity["host"] == server.host
+        assert identity["port"] == server.port
+        assert identity["started_age_seconds"] >= 0
+        # Monotonic age: never jumps backwards between polls.
+        _, later = request_json(server, "GET", "/stats")
+        assert (
+            later["server"]["identity"]["started_age_seconds"]
+            >= identity["started_age_seconds"]
+        )
+
+    def test_delete_dataset_roundtrip(self, server):
+        spec = dict(SOCIAL_SPEC, seed=21)
+        status, _ = request_json(
+            server, "POST", "/datasets", {"name": "tmp-del", "dataset": spec}
+        )
+        assert status == 201
+        # Warm a shard index so DELETE really frees something.
+        request_ndjson(
+            server, "POST", "/query",
+            {"dataset": "tmp-del", "queries": [{"kind": "triangles", "tau": 2.0}],
+             "include_records": False},
+        )
+        status, doc = request_json(server, "DELETE", "/datasets/tmp-del")
+        assert status == 200 and doc["removed"]["name"] == "tmp-del"
+        status, doc = request_json(
+            server, "POST", "/query",
+            {"dataset": "tmp-del", "queries": [{"kind": "triangles", "tau": 2.0}]},
+        )
+        assert status == 404
+        status, doc = request_json(server, "DELETE", "/datasets/tmp-del")
+        assert status == 404 and "unknown dataset" in doc["error"]
+        # The name is immediately free again.
+        status, _ = request_json(
+            server, "POST", "/datasets", {"name": "tmp-del", "dataset": spec}
+        )
+        assert status == 201
+        _, lines = request_ndjson(
+            server, "POST", "/query",
+            {"dataset": "tmp-del", "queries": [{"kind": "triangles", "tau": 2.0}],
+             "include_records": False},
+        )
+        assert lines[-1]["ok"] is True
+        request_json(server, "DELETE", "/datasets/tmp-del")
+
+    def test_delete_wrong_method_is_405(self, server):
+        status, _ = request_json(server, "GET", "/datasets/soc")
+        assert status == 405
+        status, _ = request_json(server, "POST", "/datasets/soc")
+        assert status == 405
+
     def test_malformed_json_body_is_400(self, server):
         conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
         try:
@@ -453,6 +511,26 @@ class TestRegistry:
         registry.close()
         registry.close()
         assert len(registry) == 0
+
+    def test_remove_closes_shard_and_frees_cache(self):
+        registry = DatasetRegistry()
+        try:
+            shard = registry.register("d", random_tps(n=20, seed=0))
+            engine = QueryEngine(cache=shard.cache)
+            engine.run(shard.tps, QuerySpec(kind="triangles", taus=2.0))
+            assert len(shard.cache) == 1
+            removed = registry.remove("d")
+            assert removed is shard and "d" not in registry
+            assert len(shard.cache) == 0  # resident indexes freed
+            # The executor is really down.
+            with pytest.raises(RuntimeError):
+                shard.executor.submit(lambda: None)
+            with pytest.raises(UnknownDatasetError):
+                registry.remove("d")
+            # The name is free for immediate reuse.
+            registry.register("d", random_tps(n=10, seed=1))
+        finally:
+            registry.close()
 
 
 class TestAdmissionQueue:
