@@ -30,6 +30,16 @@ Gates (non-zero exit on failure):
 * ``router1 ≥ --max-proxy-overhead`` fraction of direct throughput
   (default 0.5): the hop must stay bounded, on any machine.
 
+Server-side facts come from **/metrics diffs** (scraped before/after
+each load phase): the direct topology cross-checks the client's
+request count against ``http_requests_total`` and reports engine
+latency from the ``serve_query_seconds`` interval histogram; the
+router topologies check ``router_proxied_queries_total`` against the
+client count, report relay bytes and upstream keep-alive reuse, and —
+in the 2-worker case — prove via the worker-labelled
+``serve_queries_total`` re-export that *both* workers actually served
+load (the horizontal-scaling claim, read back from the fleet scrape).
+
 Usage::
 
     python benchmarks/bench_router.py [--n 280] [--clients 3] [--requests 6]
@@ -47,8 +57,14 @@ import time
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from bench_serve import Client, _latency_ms  # noqa: E402
+from bench_serve import (  # noqa: E402
+    Client,
+    _interval_latency_ms,
+    _latency_ms,
+    scrape_metrics,
+)
 
+from repro.obs import counter_value  # noqa: E402
 from repro.router import start_router_thread  # noqa: E402
 from repro.serve import start_server_thread  # noqa: E402
 
@@ -130,6 +146,38 @@ def run_load(host, port, clients, requests):
     }
 
 
+def _scrape(host, port):
+    """One strict /metrics scrape over a throwaway connection."""
+    client = Client(host, port, pooled=False)
+    try:
+        return scrape_metrics(client)
+    finally:
+        client.close()
+
+
+def _counter_diff(before, after, name, labels=None):
+    return counter_value(after, name, labels) - counter_value(
+        before, name, labels
+    )
+
+
+def _per_worker_queries(before, after):
+    """Engine queries served per worker, from the fleet scrape's
+    worker-labelled ``serve_queries_total`` re-export."""
+
+    def by_worker(families):
+        out = {}
+        family = families.get("serve_queries_total")
+        if family is not None:
+            for sample in family.samples:
+                worker = dict(sample.labels).get("worker", "")
+                out[worker] = out.get(worker, 0.0) + sample.value
+        return out
+
+    b, a = by_worker(before), by_worker(after)
+    return {worker: a[worker] - b.get(worker, 0.0) for worker in sorted(a)}
+
+
 def _register_and_warm(host, port, n, failures, label):
     client = Client(host, port, pooled=True)
     try:
@@ -152,7 +200,25 @@ def bench_direct(args, failures):
     handle = start_server_thread(queue_limit=args.queue_limit)
     try:
         _register_and_warm(handle.host, handle.port, args.n, failures, "direct")
-        return run_load(handle.host, handle.port, args.clients, args.requests)
+        before = _scrape(handle.host, handle.port)
+        result = run_load(handle.host, handle.port, args.clients, args.requests)
+        after = _scrape(handle.host, handle.port)
+        served = _counter_diff(
+            before, after, "http_requests_total",
+            {"route": "/query", "status": "200"},
+        )
+        if served != result["requests"]:
+            failures.append(
+                f"direct: metrics counted {served:g} /query 200s, clients "
+                f"made {result['requests']}"
+            )
+        result["metrics"] = {
+            "served_200": served,
+            "query_latency_ms": _interval_latency_ms(
+                before, after, "serve_query_seconds"
+            ),
+        }
+        return result
     finally:
         handle.stop()
 
@@ -165,7 +231,9 @@ def bench_router(args, workers, failures):
     )
     try:
         _register_and_warm(handle.host, handle.port, args.n, failures, label)
+        before = _scrape(handle.host, handle.port)
         result = run_load(handle.host, handle.port, args.clients, args.requests)
+        after = _scrape(handle.host, handle.port)
         client = Client(handle.host, handle.port, pooled=True)
         try:
             _status, data = client.request("GET", "/stats")
@@ -178,6 +246,35 @@ def bench_router(args, workers, failures):
             failures.append(
                 f"{label}: datasets did not land on distinct workers: {placements}"
             )
+        # Fleet-scrape facts.  The fleet exposition mixes router-own and
+        # worker-labelled families, so the router's side of the story
+        # comes from router-only families and the workers' from the
+        # worker-only serve_* re-exports.
+        proxied = _counter_diff(before, after, "router_proxied_queries_total")
+        if proxied != result["requests"]:
+            failures.append(
+                f"{label}: metrics counted {proxied:g} proxied query "
+                f"streams, clients made {result['requests']}"
+            )
+        per_worker = _per_worker_queries(before, after)
+        if workers == 2 and sum(1 for v in per_worker.values() if v > 0) != 2:
+            failures.append(
+                f"{label}: fleet scrape shows load on "
+                f"{per_worker} — expected both workers active"
+            )
+        result["metrics"] = {
+            "proxied_queries": proxied,
+            "relay_bytes": _counter_diff(
+                before, after, "router_relay_bytes_total"
+            ),
+            "upstream_reuses": _counter_diff(
+                before, after, "router_upstream_reuses_total"
+            ),
+            "worker_queries": per_worker,
+            "query_latency_ms": _interval_latency_ms(
+                before, after, "serve_query_seconds"
+            ),
+        }
         return result
     finally:
         handle.stop()

@@ -21,14 +21,27 @@ on separate shards**, then runs four phases:
 4. **overload** — the shard's admission queue is saturated and a burst
    of requests is fired to demonstrate bounded-queue 429 rejection.
 
-The emitted JSON carries latency percentiles, throughput, per-shard
-cache statistics from ``GET /stats``, the server's connection counters,
-the overload counts, and a ``connection_reuse`` section comparing the
-two reuse modes; the driver fails (non-zero exit) unless keep-alive
-opened fewer connections than it served requests *and* beat the
-per-request-connection mean latency on the identical workload.  CI
-uploads the JSON next to ``BENCH_smoke.json`` so the serving-path
-trajectory accumulates run over run.
+Server-side facts come from **/metrics diffs**: the driver scrapes
+``GET /metrics`` before and after each phase and derives latency
+(``http_request_seconds`` / ``serve_query_seconds`` interval
+histograms), throughput and overload counts (``http_requests_total``,
+``serve_admission_rejected_total``) from the subtraction — the same
+arithmetic a Prometheus ``rate()``/``histogram_quantile()`` pair would
+do, so the bench exercises the exposition path itself and cross-checks
+the server's own accounting against the client's request counts.  The
+connection-reuse latency comparison stays *client*-measured (TCP setup
+happens before the server's request clock starts), but its connection
+counters are metrics diffs too.
+
+The emitted JSON carries client latency percentiles, the metrics-diff
+facts, per-shard cache statistics from ``GET /stats``, the overload
+counts, and a ``connection_reuse`` section comparing the two reuse
+modes; the driver fails (non-zero exit) unless keep-alive opened fewer
+connections than it served requests *and* beat the
+per-request-connection mean latency on the identical workload, and the
+metrics-side request accounting matches the client's.  CI uploads the
+JSON next to ``BENCH_smoke.json`` so the serving-path trajectory
+accumulates run over run.
 
 Usage::
 
@@ -46,6 +59,7 @@ import sys
 import threading
 import time
 
+from repro.obs import counter_value, histogram_snapshot, parse_exposition
 from repro.serve import start_server_thread
 
 DATASETS = {
@@ -120,6 +134,28 @@ class Client:
         if self._conn is not None:
             self._conn.close()
             self._conn = None
+
+
+def scrape_metrics(client):
+    """One strict ``GET /metrics`` scrape → ``{family: Family}``."""
+    status, data = client.request("GET", "/metrics")
+    if status != 200:
+        raise RuntimeError(f"/metrics answered HTTP {status}")
+    return parse_exposition(data.decode())
+
+
+def _interval_latency_ms(before, after, name, labels=None):
+    """Latency facts for one phase from two scrapes of a histogram."""
+    delta = histogram_snapshot(after, name, labels) - histogram_snapshot(
+        before, name, labels
+    )
+    return {
+        "count": delta.count,
+        "mean": delta.mean * 1e3,
+        "p50": delta.quantile(0.50) * 1e3,
+        "p90": delta.quantile(0.90) * 1e3,
+        "p99": delta.quantile(0.99) * 1e3,
+    }
 
 
 def _query_once(client, dataset, include_records=False):
@@ -303,9 +339,37 @@ def main(argv=None) -> int:
             build_seconds[name] = time.perf_counter() - t0
 
         # -- closed-loop load over both shards, pooled connections ----
+        m_load0 = scrape_metrics(admin)
         load_phase = run_load(handle, args.clients, args.requests, pooled=True)
+        m_load1 = scrape_metrics(admin)
         if any(load_phase["errors"].values()):
             failures.append(f"load-phase errors: {load_phase['errors']}")
+
+        # Server-side view of the same phase, from the /metrics diff.
+        served_200 = counter_value(
+            m_load1, "http_requests_total", {"route": "/query", "status": "200"}
+        ) - counter_value(
+            m_load0, "http_requests_total", {"route": "/query", "status": "200"}
+        )
+        if served_200 != load_phase["requests"]:
+            failures.append(
+                "metrics accounting mismatch: server counted "
+                f"{served_200:g} successful /query requests, clients made "
+                f"{load_phase['requests']}"
+            )
+        load_metrics = {
+            "request_latency_ms": _interval_latency_ms(
+                m_load0, m_load1, "http_request_seconds", {"route": "/query"}
+            ),
+            "per_dataset_query_latency_ms": {
+                name: _interval_latency_ms(
+                    m_load0, m_load1, "serve_query_seconds", {"dataset": name}
+                )
+                for name in DATASETS
+            },
+            "stream_bytes": counter_value(m_load1, "serve_stream_bytes_total")
+            - counter_value(m_load0, "serve_stream_bytes_total"),
+        }
 
         # -- connection reuse: identical stream, both connection modes -
         status, data = admin.request(
@@ -321,8 +385,28 @@ def main(argv=None) -> int:
             {"dataset": "sweep", "queries": [REUSE_SWEEP], "include_records": False},
         )
         reuse_iterations = max(args.requests * 2, 10)
+        m_reuse0 = scrape_metrics(admin)
         close_phase = run_reuse_phase(handle, 2, reuse_iterations, pooled=False)
+        m_reuse1 = scrape_metrics(admin)
         ka_phase = run_reuse_phase(handle, 2, reuse_iterations, pooled=True)
+        m_reuse2 = scrape_metrics(admin)
+        # The server's own accounting of the two modes: Connection:
+        # close opens one TCP connection per request and never reuses;
+        # keep-alive piles reuses onto a handful of connections.
+        for phase, before, after in (
+            (close_phase, m_reuse0, m_reuse1),
+            (ka_phase, m_reuse1, m_reuse2),
+        ):
+            phase["server_connections_opened"] = counter_value(
+                after, "http_connections_opened_total"
+            ) - counter_value(before, "http_connections_opened_total")
+            phase["server_keepalive_reuses"] = counter_value(
+                after, "http_keepalive_reuses_total"
+            ) - counter_value(before, "http_keepalive_reuses_total")
+        if not ka_phase["server_keepalive_reuses"]:
+            failures.append(
+                "metrics saw no keep-alive reuse in the keep-alive phase"
+            )
         for phase in (close_phase, ka_phase):
             if phase["errors"]:
                 failures.append(
@@ -352,6 +436,7 @@ def main(argv=None) -> int:
         shard = handle.app.registry.get("social")
         held = shard.admission.limit
         rejected = 0
+        m_over0 = scrape_metrics(admin)
         if not shard.admission.try_acquire(held):
             failures.append("could not saturate the admission queue")
         else:
@@ -362,8 +447,29 @@ def main(argv=None) -> int:
                         rejected += 1
             finally:
                 shard.admission.release(held)
+        m_over1 = scrape_metrics(admin)
         if rejected != 5:
             failures.append(f"expected 5 overload rejections, saw {rejected}")
+        # The same burst, as the server accounted it.  Admission counts
+        # rejected *plans* (all-or-nothing batches of len(QUERIES)),
+        # the HTTP layer counts rejected *requests*.
+        expect_plans = 5 * len(QUERIES["social"])
+        metrics_rejected = counter_value(
+            m_over1, "serve_admission_rejected_total", {"dataset": "social"}
+        ) - counter_value(
+            m_over0, "serve_admission_rejected_total", {"dataset": "social"}
+        )
+        metrics_429 = counter_value(
+            m_over1, "http_requests_total", {"route": "/query", "status": "429"}
+        ) - counter_value(
+            m_over0, "http_requests_total", {"route": "/query", "status": "429"}
+        )
+        if metrics_rejected != expect_plans or metrics_429 != 5:
+            failures.append(
+                "overload metrics mismatch: serve_admission_rejected_total "
+                f"+{metrics_rejected:g} (expected {expect_plans}), "
+                f"429s +{metrics_429:g} (expected 5)"
+            )
         status, _latency, end = _query_once(admin, "social")
         if status != 200:
             failures.append(f"post-overload query failed: HTTP {status}")
@@ -408,11 +514,15 @@ def main(argv=None) -> int:
                 "wall_seconds": load_wall,
                 "total_requests": total_requests,
                 "throughput_rps": total_requests / load_wall if load_wall else 0.0,
+                "server_requests_200": served_200,
+                "metrics": load_metrics,
             },
             "connection_reuse": {
                 mode["mode"]: {
                     "requests": mode["requests"],
                     "connections_opened": mode["connections_opened"],
+                    "server_connections_opened": mode["server_connections_opened"],
+                    "server_keepalive_reuses": mode["server_keepalive_reuses"],
                     "wall_seconds": mode["wall_seconds"],
                     "latency_ms": mode["latency_ms"],
                 }
@@ -451,6 +561,13 @@ def main(argv=None) -> int:
             f"({payload['connection_reuse']['reuse_ratio']:.1f}x reuse)  "
             f"mean {ka_mean:.2f} ms  vs close {close_mean:.2f} ms  "
             f"({payload['connection_reuse']['mean_latency_improvement']:+.1%})"
+        )
+        served_lat = load_metrics["request_latency_ms"]
+        print(
+            f"metrics diff: {served_200:g} /query 200s  "
+            f"server-side p50 {served_lat['p50']:.1f} ms  "
+            f"p99 {served_lat['p99']:.1f} ms  "
+            f"{load_metrics['stream_bytes']:.0f} B streamed"
         )
         print(
             f"serve bench: {total_requests} requests in {load_wall:.2f}s "

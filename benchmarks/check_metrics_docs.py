@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Two-way check: ``docs/metrics.md`` ⇔ the live ``/metrics`` exposition.
+
+Boots a real 2-worker router fleet (whose fleet scrape contains every
+serve-tier family re-exported from the workers plus the router's own),
+scrapes ``GET /metrics`` through the strict parser, and compares the
+family set — names *and* types — against the tables in
+``docs/metrics.md``:
+
+* a family exported live but missing from the docs fails the build
+  (new metrics must be documented);
+* a family documented but absent from the live scrape fails the build
+  (stale docs rows must be deleted);
+* a type column disagreeing with the live ``# TYPE`` fails the build.
+
+Exits non-zero with a per-name report on any mismatch. Run it from the
+repo root::
+
+    PYTHONPATH=src python benchmarks/check_metrics_docs.py
+"""
+
+from __future__ import annotations
+
+import http.client
+import os
+import re
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"),
+)
+
+from repro.obs import parse_exposition  # noqa: E402
+from repro.router import start_router_thread  # noqa: E402
+
+DOCS_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, "docs", "metrics.md"
+)
+
+#: A docs table row: | `name` | type | labels | meaning |
+_ROW = re.compile(r"^\|\s*`([a-z_]+)`\s*\|\s*(counter|gauge|histogram)\s*\|")
+
+
+def documented_families(path: str) -> dict:
+    out = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            match = _ROW.match(line)
+            if match:
+                out[match.group(1)] = match.group(2)
+    return out
+
+
+def live_families() -> dict:
+    handle = start_router_thread(workers=2, probe_interval=0.5)
+    try:
+        conn = http.client.HTTPConnection(handle.host, handle.port, timeout=30)
+        try:
+            conn.request("GET", "/metrics")
+            resp = conn.getresponse()
+            assert resp.status == 200, resp.status
+            families = parse_exposition(resp.read().decode())
+        finally:
+            conn.close()
+    finally:
+        handle.stop()
+    return {name: family.type for name, family in families.items()}
+
+
+def main() -> int:
+    docs = documented_families(DOCS_PATH)
+    live = live_families()
+    if not docs:
+        print(f"FAIL: no metric rows parsed from {DOCS_PATH}", file=sys.stderr)
+        return 1
+
+    problems = []
+    for name in sorted(set(live) - set(docs)):
+        problems.append(f"exported but undocumented: {name} ({live[name]})")
+    for name in sorted(set(docs) - set(live)):
+        problems.append(f"documented but not exported: {name} ({docs[name]})")
+    for name in sorted(set(docs) & set(live)):
+        if docs[name] != live[name]:
+            problems.append(
+                f"type mismatch for {name}: docs say {docs[name]}, "
+                f"exposition says {live[name]}"
+            )
+
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"metrics docs check: {len(docs)} families documented, "
+        f"{len(live)} exported, in sync"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

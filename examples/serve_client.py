@@ -5,9 +5,12 @@ Registers a dataset, streams a durable-pattern query batch line by
 line (NDJSON), and reads the per-shard cache statistics — the complete
 client lifecycle of :mod:`repro.serve` — all over **one keep-alive
 connection**: the server holds HTTP/1.1 connections open, so a client
-sweeping many τ thresholds pays TCP setup once, not per request.  If
-no server is listening on ``--host``/``--port``, the example boots one
-in-process so it is self-contained:
+sweeping many τ thresholds pays TCP setup once, not per request.  It
+also scrapes ``GET /metrics`` before and after its own traffic and
+prints the diff — the server's accounting of exactly what this script
+did (see ``docs/metrics.md``).  If no server is listening on
+``--host``/``--port``, the example boots one in-process so it is
+self-contained:
 
     python examples/serve_client.py
     # ...or against a server you started yourself:
@@ -18,6 +21,15 @@ in-process so it is self-contained:
 import argparse
 import http.client
 import json
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"),
+)
+
+from repro.obs import counter_value, histogram_snapshot, parse_exposition
 
 
 def probe(host, port, timeout=2):
@@ -63,6 +75,12 @@ def main() -> int:
     # instead of closing the socket.
     conn = http.client.HTTPConnection(host, port, timeout=30)
     try:
+        # -- scrape /metrics BEFORE doing anything: the baseline half
+        #    of the diff printed at the end.
+        status, data = request(conn, "GET", "/metrics")
+        before = parse_exposition(data.decode())
+        print(f"GET /metrics -> {status}: baseline scrape taken")
+
         # -- register a dataset (its own shard: cache + workers + queue)
         status, data = request(
             conn, "POST", "/datasets",
@@ -125,6 +143,45 @@ def main() -> int:
             f"{identity['started_age_seconds']:.1f}s — the identity block "
             "a routing tier uses to attribute aggregated counters"
         )
+
+        # -- scrape /metrics again and print the diff: the server-side
+        #    account of exactly the traffic this script generated, the
+        #    same subtraction a Prometheus rate() does between scrapes.
+        status, data = request(conn, "GET", "/metrics")
+        after = parse_exposition(data.decode())
+
+        def diff(name, labels=None):
+            return counter_value(after, name, labels) - counter_value(
+                before, name, labels
+            )
+
+        latency = histogram_snapshot(
+            after, "serve_query_seconds", {"dataset": "forum"}
+        ) - histogram_snapshot(before, "serve_query_seconds", {"dataset": "forum"})
+        print(f"GET /metrics -> {status}: diff vs the baseline scrape —")
+        print(
+            f"  http_requests_total          +{diff('http_requests_total'):g} "
+            "(register + query + stats + the scrapes themselves)"
+        )
+        print(
+            f"  serve_queries_total{{forum}}   "
+            f"+{diff('serve_queries_total', {'dataset': 'forum'}):g}"
+        )
+        print(
+            f"  serve_cache_misses_total     "
+            f"+{diff('serve_cache_misses_total'):g} (indexes built)  "
+            f"hits +{diff('serve_cache_hits_total'):g}"
+        )
+        print(
+            f"  serve_stream_bytes_total     "
+            f"+{diff('serve_stream_bytes_total'):g} B of NDJSON"
+        )
+        if latency.count:
+            print(
+                f"  serve_query_seconds{{forum}}   {latency.count:g} queries, "
+                f"mean {latency.mean * 1e3:.1f} ms, "
+                f"p90 {latency.quantile(0.9) * 1e3:.1f} ms"
+            )
     finally:
         conn.close()
         if handle is not None:

@@ -178,6 +178,11 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="requests served on one connection before the "
                             "server closes it (default: 1000)")
+    p_srv.add_argument("--api-keys", default=None, metavar="PATH",
+                       help="tenant file (JSON) enabling per-tenant QoS: "
+                            "POST /query then requires X-API-Key and is "
+                            "metered by weighted fair shares and quotas "
+                            "(see docs/operations.md)")
 
     p_rt = sub.add_parser(
         "route",
@@ -212,6 +217,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_rt.add_argument("--max-entries", type=int, default=None,
                       help="per-shard resident-index bound, forwarded to "
                            "every worker")
+    p_rt.add_argument("--api-keys", default=None, metavar="PATH",
+                      help="tenant file (JSON), forwarded to every worker; "
+                           "the router passes X-API-Key through, workers "
+                           "enforce fair shares and quotas")
     return parser
 
 
@@ -445,6 +454,7 @@ def _run_serve(args: argparse.Namespace, out) -> int:
         queue_limit=args.queue_limit,
         default_backend=args.backend,
         datasets=_parse_boot_datasets(args.dataset),
+        api_keys=args.api_keys,
         announce=announce,
         **keepalive_kwargs,
     )
@@ -479,6 +489,8 @@ def _run_route(args: argparse.Namespace, out) -> int:
         serve_args += ["--queue-limit", str(args.queue_limit)]
     if args.max_entries is not None:
         serve_args += ["--max-entries", str(args.max_entries)]
+    if args.api_keys is not None:
+        serve_args += ["--api-keys", args.api_keys]
     route_kwargs = {}
     if args.probe_interval is not None:
         route_kwargs["probe_interval"] = args.probe_interval

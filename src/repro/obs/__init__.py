@@ -1,0 +1,58 @@
+"""Observability core shared by the serving tiers, benches and CI.
+
+``repro.obs.metrics`` defines the instruments and the registry each
+front end owns; ``repro.obs.expofmt`` reads scrapes back (the router's
+worker re-export, the benches' before/after diffs, the conformance
+test).  See ``docs/metrics.md`` for the reference of every exported
+metric family.
+"""
+
+from .metrics import (
+    CONTENT_TYPE,
+    DEFAULT_LATENCY_BUCKETS,
+    CallbackMetric,
+    Counter,
+    Family,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Sample,
+    escape_label_value,
+    format_value,
+    render_families,
+)
+from .expofmt import (
+    ExpositionError,
+    HistogramSnapshot,
+    counter_value,
+    gauge_value,
+    histogram_snapshot,
+    merge,
+    parse_exposition,
+    relabel,
+    render_merged,
+)
+
+__all__ = [
+    "CONTENT_TYPE",
+    "DEFAULT_LATENCY_BUCKETS",
+    "CallbackMetric",
+    "Counter",
+    "Family",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Sample",
+    "escape_label_value",
+    "format_value",
+    "render_families",
+    "ExpositionError",
+    "HistogramSnapshot",
+    "counter_value",
+    "gauge_value",
+    "histogram_snapshot",
+    "merge",
+    "parse_exposition",
+    "relabel",
+    "render_merged",
+]

@@ -1,0 +1,398 @@
+"""Parse, merge and summarise Prometheus text exposition scrapes.
+
+Three consumers sit on the reading side of the ``/metrics`` seam and
+share this module so they agree on what a scrape means:
+
+* the **router** scrapes each worker's ``/metrics``, relabels every
+  sample with ``worker="<slot>"`` and merges the result into its own
+  scrape (:func:`parse_exposition`, :func:`relabel`, :func:`merge`);
+* the **benches** diff a before/after pair of scrapes to derive
+  latency and throughput facts (:func:`counter_value`,
+  :func:`histogram_totals`, :class:`HistogramSnapshot` arithmetic);
+* the **conformance test** parses a live scrape strictly and rejects
+  malformed output (:func:`parse_exposition` raises
+  :class:`ExpositionError` instead of guessing).
+
+The parser is deliberately strict — ``# TYPE`` must precede a family's
+samples, label syntax must be exact, histogram buckets must be
+cumulative with ``_count`` equal to the ``+Inf`` bucket — because its
+job is to prove our own output well-formed, not to accept the wild.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .metrics import Family, Sample, render_families
+
+__all__ = [
+    "ExpositionError",
+    "parse_exposition",
+    "relabel",
+    "merge",
+    "counter_value",
+    "gauge_value",
+    "HistogramSnapshot",
+    "histogram_snapshot",
+]
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)"
+    r"(?: (?P<timestamp>-?[0-9]+))?$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+class ExpositionError(ValueError):
+    """A scrape violated the text exposition format."""
+
+    def __init__(self, lineno: int, message: str) -> None:
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def _unescape_label(value: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\":
+            if i + 1 >= len(value):
+                raise ValueError("dangling backslash in label value")
+            nxt = value[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+            elif nxt == '"':
+                out.append('"')
+            elif nxt == "n":
+                out.append("\n")
+            else:
+                raise ValueError(f"invalid escape \\{nxt} in label value")
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def _parse_labels(text: str, lineno: int) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    pos = 0
+    while pos < len(text):
+        match = _LABEL_RE.match(text, pos)
+        if not match:
+            raise ExpositionError(lineno, f"bad label syntax at {text[pos:]!r}")
+        name = match.group(1)
+        if name in labels:
+            raise ExpositionError(lineno, f"duplicate label {name!r}")
+        try:
+            labels[name] = _unescape_label(match.group(2))
+        except ValueError as exc:
+            raise ExpositionError(lineno, str(exc)) from exc
+        pos = match.end()
+        if pos < len(text):
+            if text[pos] != ",":
+                raise ExpositionError(lineno, f"expected ',' at {text[pos:]!r}")
+            pos += 1
+    return labels
+
+
+def _base_name(sample_name: str, family: Family) -> str:
+    if family.type == "histogram":
+        for suffix in _HISTOGRAM_SUFFIXES:
+            if sample_name == family.name + suffix:
+                return family.name
+        return sample_name
+    return sample_name
+
+
+def parse_exposition(text: str) -> Dict[str, Family]:
+    """Strictly parse a scrape into ``{family_name: Family}``.
+
+    Raises :class:`ExpositionError` on any malformed line, a sample
+    preceding its ``# TYPE``, samples interleaved across families, or a
+    histogram whose buckets are non-cumulative / inconsistent with
+    ``_sum``/``_count``.
+    """
+    families: Dict[str, Family] = {}
+    current: Optional[Family] = None
+    for lineno, raw in enumerate(text.split("\n"), start=1):
+        line = raw.rstrip("\r")
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP "):]
+            name, _, help_text = rest.partition(" ")
+            if not name:
+                raise ExpositionError(lineno, "HELP line without a metric name")
+            if name in families:
+                raise ExpositionError(lineno, f"duplicate HELP for {name!r}")
+            current = Family(name, "untyped", help_text)
+            families[name] = current
+        elif line.startswith("# TYPE "):
+            rest = line[len("# TYPE "):]
+            parts = rest.split(" ")
+            if len(parts) != 2:
+                raise ExpositionError(lineno, f"malformed TYPE line {line!r}")
+            name, type_ = parts
+            if type_ not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ExpositionError(lineno, f"unknown metric type {type_!r}")
+            family = families.get(name)
+            if family is None:
+                family = Family(name, type_, "")
+                families[name] = family
+            elif family.samples:
+                raise ExpositionError(lineno, f"TYPE for {name!r} after its samples")
+            else:
+                family.type = type_
+            current = family
+        elif line.startswith("#"):
+            continue  # comment
+        else:
+            match = _SAMPLE_RE.match(line)
+            if not match:
+                raise ExpositionError(lineno, f"malformed sample line {line!r}")
+            sample_name = match.group("name")
+            labels = _parse_labels(match.group("labels") or "", lineno)
+            try:
+                value = _parse_value(match.group("value"))
+            except ValueError:
+                raise ExpositionError(
+                    lineno, f"bad sample value {match.group('value')!r}"
+                ) from None
+            if current is None:
+                raise ExpositionError(
+                    lineno, f"sample {sample_name!r} before any HELP/TYPE line"
+                )
+            base = _base_name(sample_name, current)
+            if base != current.name:
+                raise ExpositionError(
+                    lineno,
+                    f"sample {sample_name!r} outside its family "
+                    f"(current family is {current.name!r})",
+                )
+            current.samples.append(Sample(sample_name, labels, value))
+    for family in families.values():
+        if family.type == "histogram":
+            _check_histogram(family)
+    return families
+
+
+def _series_key(labels: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+
+
+def _check_histogram(family: Family) -> None:
+    """Buckets cumulative and ordered; ``_count`` == ``+Inf`` bucket."""
+    series: Dict[Tuple[Tuple[str, str], ...], Dict[str, object]] = {}
+    for sample in family.samples:
+        labels = sample.labels
+        key = _series_key(labels)
+        entry = series.setdefault(key, {"buckets": [], "sum": None, "count": None})
+        if sample.name == family.name + "_bucket":
+            if "le" not in labels:
+                raise ExpositionError(0, f"{sample.name} without an 'le' label")
+            entry["buckets"].append((_parse_value(labels["le"]), sample.value))
+        elif sample.name == family.name + "_sum":
+            entry["sum"] = sample.value
+        elif sample.name == family.name + "_count":
+            entry["count"] = sample.value
+    for key, entry in series.items():
+        buckets = sorted(entry["buckets"], key=lambda pair: pair[0])
+        if not buckets:
+            raise ExpositionError(0, f"histogram {family.name} series {key!r} has no buckets")
+        if buckets[-1][0] != math.inf:
+            raise ExpositionError(0, f"histogram {family.name} lacks a +Inf bucket")
+        last = -1.0
+        for bound, cumulative in buckets:
+            if cumulative < last:
+                raise ExpositionError(
+                    0,
+                    f"histogram {family.name} buckets not monotonic at le={bound}",
+                )
+            last = cumulative
+        if entry["count"] is None or entry["sum"] is None:
+            raise ExpositionError(0, f"histogram {family.name} missing _sum or _count")
+        if entry["count"] != buckets[-1][1]:
+            raise ExpositionError(
+                0,
+                f"histogram {family.name}: _count {entry['count']} != "
+                f"+Inf bucket {buckets[-1][1]}",
+            )
+
+
+def relabel(families: Dict[str, Family], **labels: str) -> Dict[str, Family]:
+    """A copy of *families* with *labels* added to every sample.
+
+    Used by the router to tag each worker's scrape with
+    ``worker="<slot>"`` before merging.  Existing labels win — a sample
+    that already carries one of the keys is left untouched.
+    """
+    out: Dict[str, Family] = {}
+    for name, family in families.items():
+        copied = Family(name, family.type, family.help)
+        for sample in family.samples:
+            merged = dict(labels)
+            merged.update(sample.labels)
+            copied.samples.append(Sample(sample.name, merged, sample.value))
+        out[name] = copied
+    return out
+
+
+def merge(*family_maps: Dict[str, Family]) -> List[Family]:
+    """Merge scrapes into one sorted family list.
+
+    Same-named families concatenate their samples; the first map to
+    define a family supplies its type and help text.
+    """
+    merged: Dict[str, Family] = {}
+    for family_map in family_maps:
+        for name, family in family_map.items():
+            target = merged.get(name)
+            if target is None:
+                target = Family(name, family.type, family.help)
+                merged[name] = target
+            target.samples.extend(family.samples)
+    return sorted(merged.values(), key=lambda f: f.name)
+
+
+def render_merged(*family_maps: Dict[str, Family]) -> str:
+    return render_families(merge(*family_maps))
+
+
+def _match(sample_labels: Dict[str, str], wanted: Dict[str, str]) -> bool:
+    return all(sample_labels.get(k) == v for k, v in wanted.items())
+
+
+def counter_value(
+    families: Dict[str, Family], name: str, labels: Optional[Dict[str, str]] = None
+) -> float:
+    """Sum of a counter/gauge family's samples matching *labels*."""
+    family = families.get(name)
+    if family is None:
+        return 0.0
+    wanted = labels or {}
+    return sum(s.value for s in family.samples if _match(s.labels, wanted))
+
+
+gauge_value = counter_value
+
+
+class HistogramSnapshot:
+    """One histogram series reduced to (bounds, cumulative counts, sum, count).
+
+    Subtraction yields the interval histogram between two scrapes, from
+    which the benches derive mean and interpolated percentiles.
+    """
+
+    def __init__(
+        self,
+        bounds: Tuple[float, ...],
+        cumulative: Tuple[float, ...],
+        sum_: float,
+        count: float,
+    ) -> None:
+        self.bounds = bounds
+        self.cumulative = cumulative
+        self.sum = sum_
+        self.count = count
+
+    def __sub__(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
+        # A series that had no observations yet renders no samples at
+        # all, so its snapshot has no bounds; treat it as all-zero over
+        # the other side's bounds (the common "scrape before first
+        # request" diff).
+        if not other.bounds and not other.count:
+            other = HistogramSnapshot(
+                self.bounds, (0.0,) * len(self.bounds), other.sum, other.count
+            )
+        elif not self.bounds and not self.count:
+            self = HistogramSnapshot(
+                other.bounds, (0.0,) * len(other.bounds), self.sum, self.count
+            )
+        if other.bounds != self.bounds:
+            raise ValueError("histogram snapshots have different bucket bounds")
+        return HistogramSnapshot(
+            self.bounds,
+            tuple(a - b for a, b in zip(self.cumulative, other.cumulative)),
+            self.sum - other.sum,
+            self.count - other.count,
+        )
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Linear interpolation inside the bucket holding quantile *q*.
+
+        The +Inf bucket has no finite upper edge; values landing there
+        report the largest finite bound (a floor on the true value).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count <= 0:
+            return 0.0
+        rank = q * self.count
+        prev_cum = 0.0
+        prev_bound = 0.0
+        for bound, cum in zip(self.bounds, self.cumulative):
+            if cum >= rank:
+                if bound == math.inf:
+                    return prev_bound
+                width = cum - prev_cum
+                if width <= 0:
+                    return bound
+                return prev_bound + (bound - prev_bound) * (rank - prev_cum) / width
+            prev_cum = cum
+            prev_bound = bound if bound != math.inf else prev_bound
+        return prev_bound
+
+
+def histogram_snapshot(
+    families: Dict[str, Family], name: str, labels: Optional[Dict[str, str]] = None
+) -> HistogramSnapshot:
+    """Aggregate a histogram family's matching series into one snapshot.
+
+    Series with identical bucket bounds sum element-wise, so per-label
+    breakdowns (e.g. per-dataset) roll up into fleet totals.
+    """
+    family = families.get(name)
+    wanted = labels or {}
+    per_bound: Dict[float, float] = {}
+    total_sum = 0.0
+    total_count = 0.0
+    if family is not None:
+        for sample in family.samples:
+            # Copy before popping ``le``: the caller's parsed families
+            # must survive repeated snapshot calls untouched.
+            slabels = dict(sample.labels)
+            if sample.name == name + "_bucket":
+                le = slabels.pop("le", None)
+                if le is None or not _match(slabels, wanted):
+                    continue
+                bound = _parse_value(le)
+                per_bound[bound] = per_bound.get(bound, 0.0) + sample.value
+            elif sample.name == name + "_sum" and _match(slabels, wanted):
+                total_sum += sample.value
+            elif sample.name == name + "_count" and _match(slabels, wanted):
+                total_count += sample.value
+    bounds = tuple(sorted(per_bound))
+    cumulative = tuple(per_bound[b] for b in bounds)
+    return HistogramSnapshot(bounds, cumulative, total_sum, total_count)

@@ -18,9 +18,19 @@ but owns **placement** instead of shards:
 * ``GET    /stats`` fans out to every worker and aggregates their
   stats — connections, per-backend counters, identity — under a
   ``workers`` key, next to the router's own placement and proxy
-  counters;
+  counters and a fleet-wide ``totals`` block (summed queries, errors,
+  connections and datasets across the live workers);
+* ``GET    /metrics`` scrapes every live worker's ``/metrics``,
+  re-labels each worker's samples with ``worker="<slot>"``, and merges
+  them with the router's own families into one Prometheus text
+  exposition — one scrape covers the whole fleet;
 * ``POST   /shutdown`` drains the router's connections, then fans the
   shutdown out to the fleet.
+
+``X-API-Key`` headers pass through ``POST /query`` untouched: tenant
+resolution, fair shares and quotas are enforced by the owning worker
+(boot the fleet with ``--api-keys`` to enable them), and the workers'
+tenant-labelled metrics come back through the fleet scrape.
 
 Queries that race a dead or restarting worker get ``503`` +
 ``Retry-After`` (via :class:`~repro.serve.server.UnavailableError`),
@@ -47,6 +57,7 @@ from urllib.parse import quote, unquote
 from ..backends import default_registry
 from ..backends.cost import CostModel
 from ..errors import ValidationError
+from ..obs import ExpositionError, parse_exposition, relabel, render_merged
 from ..serve.http import (
     ProtocolError,
     Request,
@@ -118,11 +129,113 @@ class RouterApp(AsyncApp):
         self.proxy_unavailable = 0
         self.registrations = 0
         self.deletions = 0
+        self.upstream_connects = 0
+        self.upstream_reuses = 0
         #: Idle upstream keep-alive sockets per (slot, generation).
         self._upstream: Dict[
             Tuple[str, int],
             Deque[Tuple[asyncio.StreamReader, asyncio.StreamWriter]],
         ] = {}
+        self._register_router_metrics()
+
+    def _register_router_metrics(self) -> None:
+        """The ``router_*`` families (on top of AsyncApp's ``http_*``).
+
+        All callbacks: the router already counts everything for
+        ``/stats``, and callbacks run on the event-loop thread (the
+        scrape is served there), so reading the un-locked proxy
+        counters and the upstream pool is race-free.
+        """
+        m = self.metrics
+
+        def per_worker(field):
+            def collect():
+                return [
+                    ({"worker": slot}, info[field])
+                    for slot, info in sorted(self.pool.stats().items())
+                ]
+
+            return collect
+
+        m.callback(
+            "router_workers", "gauge", "Configured worker slots.",
+            lambda: [({}, len(self.pool.slots()))],
+        )
+        m.callback(
+            "router_worker_up", "gauge",
+            "1 when the slot's process is running and announced, else 0.",
+            lambda: [
+                ({"worker": s.slot}, 1 if s.running else 0)
+                for s in self.pool.statuses()
+            ],
+        )
+        m.callback(
+            "router_worker_restarts_total", "counter",
+            "Times the slot's process was restarted by the supervisor.",
+            per_worker("restarts"),
+        )
+        m.callback(
+            "router_worker_probe_failures_total", "counter",
+            "Failed health probes against the slot (cumulative).",
+            per_worker("probe_failures_total"),
+        )
+        m.callback(
+            "router_worker_replay_errors_total", "counter",
+            "Manifest replay registrations that failed after a restart.",
+            per_worker("replay_errors"),
+        )
+        m.callback(
+            "router_proxied_queries_total", "counter",
+            "Query streams proxied to workers.",
+            lambda: [({}, self.proxied_queries)],
+        )
+        m.callback(
+            "router_proxy_unavailable_total", "counter",
+            "Requests answered 503 because the owning worker was gone.",
+            lambda: [({}, self.proxy_unavailable)],
+        )
+        m.callback(
+            "router_registrations_total", "counter",
+            "Dataset registrations placed onto workers.",
+            lambda: [({}, self.registrations)],
+        )
+        m.callback(
+            "router_deletions_total", "counter",
+            "Dataset deletions forwarded to workers.",
+            lambda: [({}, self.deletions)],
+        )
+        m.callback(
+            "router_upstream_connects_total", "counter",
+            "Fresh TCP connections opened to workers.",
+            lambda: [({}, self.upstream_connects)],
+        )
+        m.callback(
+            "router_upstream_reuses_total", "counter",
+            "Upstream requests served on a pooled keep-alive socket.",
+            lambda: [({}, self.upstream_reuses)],
+        )
+
+        def pool_idle():
+            out: Dict[str, int] = {}
+            for (slot, _generation), idle in self._upstream.items():
+                out[slot] = out.get(slot, 0) + len(idle)
+            return [({"worker": slot}, n) for slot, n in sorted(out.items())]
+
+        m.callback(
+            "router_upstream_pool_idle", "gauge",
+            "Idle pooled sockets held per worker.",
+            pool_idle,
+        )
+        self._m_relay_bytes = m.counter(
+            "router_relay_bytes_total",
+            "Streamed NDJSON payload bytes relayed from workers to clients.",
+            ("worker",),
+        )
+        self._m_scrape_errors = m.counter(
+            "router_worker_scrape_errors_total",
+            "Worker /metrics scrapes that failed or were malformed.",
+            ("worker",),
+        )
 
     # ------------------------------------------------------------------
     # Upstream connection management
@@ -149,10 +262,12 @@ class RouterApp(AsyncApp):
         self, status: WorkerStatus
     ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
         try:
-            return await asyncio.wait_for(
+            conn = await asyncio.wait_for(
                 asyncio.open_connection(status.host, status.port),
                 CONNECT_TIMEOUT,
             )
+            self.upstream_connects += 1
+            return conn
         except (OSError, asyncio.TimeoutError) as exc:
             self.proxy_unavailable += 1
             raise UnavailableError(
@@ -173,6 +288,7 @@ class RouterApp(AsyncApp):
             if writer.is_closing() or reader.at_eof():
                 writer.close()
                 continue
+            self.upstream_reuses += 1
             return reader, writer
         return None
 
@@ -210,14 +326,17 @@ class RouterApp(AsyncApp):
         method: str,
         path: str,
         body: bytes,
+        headers: Optional[Dict[str, str]] = None,
     ) -> None:
-        head = (
-            f"{method} {path} HTTP/1.1\r\n"
-            f"Host: {status.host}:{status.port}\r\n"
-            "Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            "\r\n"
-        ).encode("latin-1")
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {status.host}:{status.port}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+        ]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
         writer.write(head + body)
         await writer.drain()
 
@@ -249,6 +368,7 @@ class RouterApp(AsyncApp):
         path: str,
         body: bytes,
         head_timeout: float,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, str], asyncio.StreamReader, asyncio.StreamWriter]:
         """Acquire a connection, send one request, read the response head.
 
@@ -267,7 +387,9 @@ class RouterApp(AsyncApp):
                 conn = await self._connect(status)
             reader, writer = conn
             try:
-                await self._send_upstream(writer, status, method, path, body)
+                await self._send_upstream(
+                    writer, status, method, path, body, headers
+                )
                 code, headers = await asyncio.wait_for(
                     self._read_upstream_head(reader), head_timeout
                 )
@@ -385,14 +507,64 @@ class RouterApp(AsyncApp):
             await self._handle_unregister(request, writer, state)
         elif route == ("POST", "/query"):
             await self._handle_query(request, writer, state)
+        elif route == ("GET", "/metrics"):
+            await self._respond_metrics(writer, state)
         elif route == ("POST", "/shutdown"):
             state.keep_alive = False
             await self._respond(writer, state, 200, {"ok": True, "stopping": True})
             self._shutdown.set()
-        elif request.path in ("/health", "/stats", "/datasets", "/query", "/shutdown"):
+        elif request.path in (
+            "/health", "/stats", "/metrics", "/datasets", "/query", "/shutdown",
+        ):
             raise ProtocolError(405, f"{request.method} not allowed on {request.path}")
         else:
             raise ProtocolError(404, f"no route for {request.path!r}")
+
+    def _route_label(self, request: Request) -> str:
+        if request.path in (
+            "/health", "/stats", "/metrics", "/datasets", "/query", "/shutdown",
+        ):
+            return request.path
+        if request.path.startswith("/datasets/"):
+            return "/datasets/{name}"
+        return "other"
+
+    async def _metrics_text(self) -> str:
+        """One scrape for the whole fleet.
+
+        Every running worker's ``/metrics`` is fetched over the pooled
+        upstream connections, strictly re-parsed, re-labelled with
+        ``worker="<slot>"`` and merged after the router's own families.
+        A worker that is down, slow, or emits a malformed exposition is
+        skipped (and counted in ``router_worker_scrape_errors_total``)
+        rather than poisoning the fleet scrape.
+        """
+        own = {family.name: family for family in self.metrics.collect()}
+
+        async def scrape(slot: str):
+            status = self.pool.status(slot)
+            if not status.running:
+                return None
+            try:
+                code, headers, reader, writer = await self._upstream_request(
+                    status, "GET", "/metrics", b"", STATS_TIMEOUT
+                )
+                raw = await self._read_upstream_body(
+                    status, headers, reader, writer, STATS_TIMEOUT
+                )
+                if code != 200:
+                    raise ExpositionError(0, f"worker answered HTTP {code}")
+                return relabel(
+                    parse_exposition(raw.decode("utf-8")), worker=slot
+                )
+            except (UnavailableError, ExpositionError, UnicodeDecodeError):
+                self._m_scrape_errors.labels(worker=slot).inc()
+                return None
+
+        scraped = await asyncio.gather(
+            *(scrape(slot) for slot in self.pool.slots())
+        )
+        return render_merged(own, *(m for m in scraped if m is not None))
 
     # ------------------------------------------------------------------
     def _place(self, name: str, dataset_spec: Any) -> str:
@@ -513,9 +685,14 @@ class RouterApp(AsyncApp):
             )
         if not isinstance(name, str):
             raise ProtocolError(400, "query body needs a 'dataset' name")
-        _slot, status = self._worker_for(name)
+        slot, status = self._worker_for(name)
+        # Tenant identity rides along untouched: the owning worker is
+        # the enforcement point for shares and quotas.
+        api_key = request.headers.get("x-api-key")
+        forward = {"X-API-Key": api_key} if api_key is not None else None
         code, up_headers, up_reader, up_writer = await self._upstream_request(
-            status, "POST", "/query", request.body, UPSTREAM_TIMEOUT
+            status, "POST", "/query", request.body, UPSTREAM_TIMEOUT,
+            headers=forward,
         )
 
         if up_headers.get("transfer-encoding", "").lower() != "chunked":
@@ -549,7 +726,8 @@ class RouterApp(AsyncApp):
             chunked=chunked,
         )
         try:
-            complete = await self._relay_chunks(up_reader, writer, chunked)
+            complete, relayed = await self._relay_chunks(up_reader, writer, chunked)
+            self._m_relay_bytes.labels(worker=slot).inc(relayed)
             if complete:
                 if chunked:
                     await end_chunked(writer)
@@ -583,29 +761,31 @@ class RouterApp(AsyncApp):
         up_reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         chunked: bool,
-    ) -> bool:
-        """Relay one chunked body; ``True`` iff the terminal chunk arrived.
+    ) -> Tuple[bool, int]:
+        """Relay one chunked body → ``(complete, payload_bytes)``.
 
-        Parses the worker's chunk framing rather than blind-piping
-        bytes, so the router knows the difference between a complete
-        stream (reusable upstream socket, terminator owed to the
-        client) and a truncated one (worker died — propagate the
-        truncation).
+        ``complete`` is ``True`` iff the terminal chunk arrived.  Parses
+        the worker's chunk framing rather than blind-piping bytes, so
+        the router knows the difference between a complete stream
+        (reusable upstream socket, terminator owed to the client) and a
+        truncated one (worker died — propagate the truncation), and can
+        account the payload bytes it relayed either way.
         """
+        relayed = 0
         try:
             while True:
                 size_line = await up_reader.readline()
                 if not size_line.endswith(b"\r\n"):
-                    return False  # EOF mid-framing
+                    return False, relayed  # EOF mid-framing
                 try:
                     size = int(size_line.strip().split(b";", 1)[0], 16)
                 except ValueError:
-                    return False
+                    return False, relayed
                 if size == 0:
                     # Terminal chunk; consume the trailing CRLF (the
                     # serve layer never sends trailers).
                     await up_reader.readexactly(2)
-                    return True
+                    return True, relayed
                 payload = await up_reader.readexactly(size)
                 await up_reader.readexactly(2)  # chunk CRLF
                 if chunked:
@@ -614,9 +794,10 @@ class RouterApp(AsyncApp):
                     )
                 else:
                     writer.write(payload)
+                relayed += size
                 await writer.drain()
         except (OSError, ConnectionError, asyncio.IncompleteReadError):
-            return False
+            return False, relayed
 
     # ------------------------------------------------------------------
     async def _aggregate_stats(self) -> Dict[str, Any]:

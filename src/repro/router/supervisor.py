@@ -190,7 +190,11 @@ class _WorkerState:
         self.current: Optional[_WorkerProcess] = None
         self.generation = 0
         self.restarts = 0
+        #: Current *streak* of failed health probes (resets on success;
+        #: reaching PROBE_FAILURE_THRESHOLD triggers a restart).
         self.probe_failures = 0
+        #: Cumulative failed probes over the slot's life (telemetry).
+        self.probe_failures_total = 0
         self.replay_errors = 0
         self.last_error: Optional[str] = None
 
@@ -360,6 +364,8 @@ class WorkerPool:
             healthy = False
         with self._lock:
             state.probe_failures = 0 if healthy else state.probe_failures + 1
+            if not healthy:
+                state.probe_failures_total += 1
             wedged = state.probe_failures >= PROBE_FAILURE_THRESHOLD
         if wedged:
             proc.kill()
@@ -474,11 +480,13 @@ class WorkerPool:
                 state = self._states[status.slot]
                 last_error = state.last_error
                 replay_errors = state.replay_errors
+                probe_failures_total = state.probe_failures_total
             out[status.slot] = {
                 "alive": status.running,
                 "generation": status.generation,
                 "restarts": status.restarts,
                 "replay_errors": replay_errors,
+                "probe_failures_total": probe_failures_total,
                 "pid": status.pid,
                 "address": (
                     f"{status.host}:{status.port}" if status.port else None

@@ -15,7 +15,11 @@ serves many callers.  This package is that process, stdlib-only:
   framing with **persistent connections** (keep-alive request loop,
   idle timeout, per-connection request cap, graceful drain on
   shutdown) and the NDJSON streaming protocol (``POST /datasets``,
-  ``POST /query``, ``GET /stats``, ``POST /shutdown``).
+  ``POST /query``, ``GET /stats``, ``GET /metrics``,
+  ``POST /shutdown``);
+* :mod:`~repro.serve.tenants` — optional per-tenant QoS: ``X-API-Key``
+  → tenant resolution, weighted fair admission shares, per-minute
+  quotas (429 + ``Retry-After``), tenant-labelled metrics.
 
 Start one with ``python -m repro serve`` or, in-process,
 :func:`~repro.serve.server.start_server_thread` (the tests' and bench
@@ -23,6 +27,7 @@ driver's fixture).
 """
 
 from .bridge import AdmissionQueue, OverloadedError, submit_plans
+from .tenants import AuthError, Tenant, TenantTable
 from .registry import (
     DEFAULT_MAX_ENTRIES,
     DEFAULT_QUEUE_LIMIT,
@@ -48,6 +53,9 @@ __all__ = [
     "AdmissionQueue",
     "OverloadedError",
     "submit_plans",
+    "AuthError",
+    "Tenant",
+    "TenantTable",
     "DatasetRegistry",
     "DatasetShard",
     "DuplicateDatasetError",

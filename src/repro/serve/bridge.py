@@ -7,13 +7,20 @@ that does not fit inside the shard's queue limit is rejected up front
 (the HTTP layer turns that into a 429) instead of queueing without
 bound.  Slots are released by a done-callback on each future, so a
 client that disconnects mid-stream can never leak capacity.
+
+With tenant weights configured (see :mod:`repro.serve.tenants`), the
+queue also enforces **weighted fair shares**: tenant *t* may hold at
+most ``max(1, floor(limit × weight_t / Σ weights))`` slots.  Shares
+are static — derived from the configured weights, not from current
+occupancy — so a saturating tenant is bounded by construction and can
+never crowd the global limit against the others.
 """
 
 from __future__ import annotations
 
 import asyncio
 import threading
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional
 
 from ..engine import QueryPlan, QueryResult
 from ..engine.executor import execute_plan
@@ -26,11 +33,20 @@ __all__ = ["OverloadedError", "AdmissionQueue", "submit_plans"]
 
 
 class OverloadedError(ReproError):
-    """Raised when a shard's admission queue cannot take a batch."""
+    """Raised when a shard cannot take a batch (HTTP 429).
 
-    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+    ``reason`` says which bound rejected it: ``"queue"`` (the shard's
+    global admission limit), ``"share"`` (the tenant's fair share), or
+    ``"quota"`` (the tenant's per-minute rate quota) — it becomes the
+    ``reason`` label on ``serve_tenant_rejections_total``.
+    """
+
+    def __init__(
+        self, message: str, retry_after: float = 1.0, reason: str = "queue"
+    ) -> None:
         super().__init__(message)
         self.retry_after = retry_after
+        self.reason = reason
 
 
 class AdmissionQueue:
@@ -43,19 +59,67 @@ class AdmissionQueue:
         self._lock = threading.Lock()
         self._in_flight = 0
         self._rejected = 0
+        self._shares: Dict[str, int] = {}
+        self._tenant_in_flight: Dict[str, int] = {}
+        self._tenant_rejected: Dict[str, int] = {}
 
+    # ------------------------------------------------------------------
+    def set_tenant_weights(self, weights: Mapping[str, float]) -> None:
+        """Derive each tenant's static slot share from its weight."""
+        total = sum(weights.values())
+        with self._lock:
+            if not weights or total <= 0:
+                self._shares = {}
+                return
+            self._shares = {
+                tenant: max(1, int(self.limit * weight / total))
+                for tenant, weight in weights.items()
+            }
+
+    def share(self, tenant: str) -> Optional[int]:
+        """The tenant's slot share, or ``None`` when unconstrained."""
+        with self._lock:
+            return self._shares.get(tenant)
+
+    # ------------------------------------------------------------------
     def try_acquire(self, n: int = 1) -> bool:
-        """Reserve ``n`` slots atomically; ``False`` if they don't all fit."""
+        """Reserve ``n`` anonymous slots atomically; ``False`` if they don't fit."""
+        return self.acquire_for(None, n) is None
+
+    def acquire_for(self, tenant: Optional[str], n: int = 1) -> Optional[str]:
+        """Reserve ``n`` slots for ``tenant``; the rejection reason or ``None``.
+
+        Both bounds are checked atomically: the shard's global limit
+        (reason ``"queue"``) and, for tenants with a configured weight,
+        the tenant's static share (reason ``"share"``).
+        """
         with self._lock:
             if self._in_flight + n > self.limit:
                 self._rejected += n
-                return False
+                if tenant is not None:
+                    self._tenant_rejected[tenant] = (
+                        self._tenant_rejected.get(tenant, 0) + n
+                    )
+                return "queue"
+            if tenant is not None:
+                share = self._shares.get(tenant)
+                held = self._tenant_in_flight.get(tenant, 0)
+                if share is not None and held + n > share:
+                    self._rejected += n
+                    self._tenant_rejected[tenant] = (
+                        self._tenant_rejected.get(tenant, 0) + n
+                    )
+                    return "share"
+                self._tenant_in_flight[tenant] = held + n
             self._in_flight += n
-            return True
+            return None
 
-    def release(self, n: int = 1) -> None:
+    def release(self, n: int = 1, tenant: Optional[str] = None) -> None:
         with self._lock:
             self._in_flight = max(0, self._in_flight - n)
+            if tenant is not None:
+                held = self._tenant_in_flight.get(tenant, 0)
+                self._tenant_in_flight[tenant] = max(0, held - n)
 
     @property
     def in_flight(self) -> int:
@@ -68,21 +132,46 @@ class AdmissionQueue:
         with self._lock:
             return self._rejected
 
+    def tenant_snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant occupancy/share/rejection counters (stats + metrics)."""
+        with self._lock:
+            tenants = set(self._tenant_in_flight) | set(self._tenant_rejected) | set(
+                self._shares
+            )
+            return {
+                tenant: {
+                    "in_flight": self._tenant_in_flight.get(tenant, 0),
+                    "rejected": self._tenant_rejected.get(tenant, 0),
+                    "share": self._shares.get(tenant, 0),
+                }
+                for tenant in tenants
+            }
+
 
 def submit_plans(
-    shard: "DatasetShard", plans: List[QueryPlan]
+    shard: "DatasetShard",
+    plans: List[QueryPlan],
+    tenant: Optional[str] = None,
 ) -> "List[asyncio.Future[QueryResult]]":
     """Admit a batch and schedule every plan on the shard's executor.
 
     The whole batch is admitted atomically — all-or-nothing — so a
     half-admitted request can never wedge the queue.  Raises
-    :class:`OverloadedError` when the slots don't fit.  Each returned
-    future releases its admission slot and bumps the shard's counters
-    from a done-callback, whether or not the caller is still around to
-    await it.
+    :class:`OverloadedError` when the slots don't fit (the shard limit,
+    or ``tenant``'s fair share).  Each returned future releases its
+    admission slot and bumps the shard's counters from a done-callback,
+    whether or not the caller is still around to await it.
     """
     n = len(plans)
-    if not shard.admission.try_acquire(n):
+    denied = shard.admission.acquire_for(tenant, n)
+    if denied == "share":
+        raise OverloadedError(
+            f"tenant {tenant!r} is at its fair share of dataset "
+            f"{shard.name!r} ({shard.admission.share(tenant)} of "
+            f"{shard.admission.limit} slots); retry later",
+            reason="share",
+        )
+    if denied is not None:
         raise OverloadedError(
             f"dataset {shard.name!r} is at its admission limit "
             f"({shard.admission.limit} queries in flight); retry later"
@@ -97,20 +186,22 @@ def submit_plans(
         except RuntimeError:
             # Executor already shut down (server stopping): give back the
             # slots nothing was scheduled for and surface as overload.
-            shard.admission.release(n - len(futures))
+            shard.admission.release(n - len(futures), tenant=tenant)
             for f in futures:
                 f.cancel()
             raise OverloadedError(
                 f"dataset {shard.name!r} is shutting down"
             ) from None
-        future.add_done_callback(_release_callback(shard, plan))
+        future.add_done_callback(_release_callback(shard, plan, tenant))
         futures.append(future)
     return futures
 
 
-def _release_callback(shard: "DatasetShard", plan: QueryPlan):
+def _release_callback(
+    shard: "DatasetShard", plan: QueryPlan, tenant: Optional[str]
+):
     def _done(future: "asyncio.Future[QueryResult]") -> None:
-        shard.admission.release(1)
+        shard.admission.release(1, tenant=tenant)
         # The plan key's backend is the registry-resolved name, so the
         # shard's per-backend counters attribute work (and failures) to
         # the backend that actually ran — even when the future itself

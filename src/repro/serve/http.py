@@ -1,9 +1,13 @@
 """Minimal HTTP/1.1 framing over asyncio streams (stdlib only).
 
-Just enough protocol for the serving front end: request-line + header
-parsing with hard size limits, ``Content-Length`` bodies, JSON replies,
-and chunked transfer encoding for NDJSON streaming (so a response's
-size never has to be known — or buffered — up front).
+Just enough protocol for both asyncio front ends — the dataset server
+(:class:`repro.serve.server.ServeApp`) and the multi-process router
+(:class:`repro.router.RouterApp`) — which share one connection loop in
+:class:`~repro.serve.server.AsyncApp`: request-line + header parsing
+with hard size limits, ``Content-Length`` bodies, JSON replies, plain
+text replies (the ``/metrics`` exposition), and chunked transfer
+encoding for NDJSON streaming (so a response's size never has to be
+known — or buffered — up front).
 
 Connections are **persistent by default** (HTTP/1.1 keep-alive): the
 server's connection loop calls :func:`read_request` repeatedly on one
@@ -37,6 +41,7 @@ __all__ = [
     "read_request",
     "want_keep_alive",
     "send_json",
+    "send_text",
     "start_stream",
     "send_chunk",
     "end_chunked",
@@ -50,6 +55,7 @@ STATUS_REASONS = {
     200: "OK",
     201: "Created",
     400: "Bad Request",
+    401: "Unauthorized",
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",
@@ -230,6 +236,30 @@ async def send_json(
     await writer.drain()
 
 
+async def send_text(
+    writer: asyncio.StreamWriter,
+    status: int,
+    text: str,
+    content_type: str = "text/plain; charset=utf-8",
+    extra_headers: Optional[Dict[str, str]] = None,
+    close: bool = True,
+) -> None:
+    """Send a complete plain-text response (the ``/metrics`` scrape)."""
+    body = text.encode("utf-8")
+    writer.write(_status_line(status))
+    headers = {
+        "Content-Type": content_type,
+        "Content-Length": str(len(body)),
+        "Connection": "close" if close else "keep-alive",
+        **(extra_headers or {}),
+    }
+    for name, value in headers.items():
+        writer.write(f"{name}: {value}\r\n".encode("latin-1"))
+    writer.write(b"\r\n")
+    writer.write(body)
+    await writer.drain()
+
+
 async def start_stream(
     writer: asyncio.StreamWriter, status: int = 200,
     content_type: str = "application/x-ndjson",
@@ -261,14 +291,19 @@ async def start_stream(
 
 async def send_chunk(
     writer: asyncio.StreamWriter, payload: Any, chunked: bool = True
-) -> None:
-    """Send one NDJSON line (one HTTP chunk if ``chunked``), flushed."""
+) -> int:
+    """Send one NDJSON line (one HTTP chunk if ``chunked``), flushed.
+
+    Returns the body byte count (excluding chunk framing), so callers
+    can account streamed payload bytes without re-serialising.
+    """
     line = (json.dumps(payload) + "\n").encode("utf-8")
     if chunked:
         writer.write(f"{len(line):x}\r\n".encode("latin-1") + line + b"\r\n")
     else:
         writer.write(line)
     await writer.drain()
+    return len(line)
 
 
 async def end_chunked(writer: asyncio.StreamWriter) -> None:

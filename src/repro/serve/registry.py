@@ -21,6 +21,7 @@ from ..backends import default_registry as default_backend_registry
 from ..datasets import workload_from_spec
 from ..engine import IndexCache
 from ..errors import BackendError, ReproError, ValidationError
+from ..obs import MetricsRegistry
 from ..types import TemporalPointSet
 from .bridge import AdmissionQueue
 
@@ -130,6 +131,10 @@ class DatasetShard:
         #: and the wall time spent building vs querying.
         self._backend_counters: Dict[str, Dict[str, Any]] = {}
         self._closed = False
+        #: Event hook set by :meth:`DatasetRegistry.bind_metrics`; called
+        #: (outside the shard lock) for every finished query so latency
+        #: histograms observe through the same path /stats counts.
+        self.metrics_observer = None
 
     # ------------------------------------------------------------------
     def record_result(
@@ -172,6 +177,9 @@ class DatasetShard:
                 counters["builds"] += 1
                 counters["build_seconds"] += build_seconds
             counters["query_seconds"] += query_seconds
+        observer = self.metrics_observer
+        if observer is not None:
+            observer(self.name, ok, backend, cache_hit, build_seconds, query_seconds)
 
     def describe(self) -> Dict[str, Any]:
         """JSON-ready dataset identity (the ``POST /datasets`` reply)."""
@@ -184,6 +192,14 @@ class DatasetShard:
             "default_backend": self.default_backend,
         }
 
+    def backend_counters(self) -> Dict[str, Dict[str, Any]]:
+        """A consistent copy of the per-backend counters (metrics callbacks)."""
+        with self._lock:
+            return {
+                name: dict(counters)
+                for name, counters in self._backend_counters.items()
+            }
+
     def stats(self) -> Dict[str, Any]:
         """JSON-ready serving + cache statistics (the ``GET /stats`` shape)."""
         with self._lock:
@@ -193,7 +209,8 @@ class DatasetShard:
                 name: dict(counters)
                 for name, counters in self._backend_counters.items()
             }
-        return {
+        tenants = self.admission.tenant_snapshot()
+        out = {
             "dataset": self.describe(),
             "cache": self.cache.stats.snapshot().as_dict(),
             "resident_indexes": len(self.cache),
@@ -206,6 +223,9 @@ class DatasetShard:
             "backends": backends,
             "uptime_seconds": time.monotonic() - self.created_monotonic,
         }
+        if tenants:
+            out["tenants"] = tenants
+        return out
 
     def close(self) -> None:
         """Shut the shard's executor down (idempotent)."""
@@ -234,6 +254,11 @@ class DatasetRegistry:
         # Validated eagerly: a bad server-wide --backend should fail at
         # boot, not at the first dataset registration.
         self.default_backend = _normalise_default_backend(default_backend)
+        #: Tenant name → admission weight, applied to every shard's
+        #: queue (see :meth:`set_tenant_weights`).
+        self.tenant_weights: Dict[str, float] = {}
+        self._metrics: Optional[MetricsRegistry] = None
+        self._metrics_query_seconds = None
         self._lock = threading.Lock()
         self._shards: Dict[str, DatasetShard] = {}
         #: Names whose registration is materialising right now — reserved
@@ -299,6 +324,9 @@ class DatasetRegistry:
                     else self.default_backend
                 ),
             )
+            if self.tenant_weights:
+                shard.admission.set_tenant_weights(self.tenant_weights)
+            shard.metrics_observer = self._observe_query
             with self._lock:
                 old = self._shards.get(name)
                 self._shards[name] = shard
@@ -308,6 +336,149 @@ class DatasetRegistry:
         if old is not None:
             old.close()
         return shard
+
+    # ------------------------------------------------------------------
+    def set_tenant_weights(self, weights: Mapping[str, float]) -> None:
+        """Apply tenant admission weights to every current and future shard."""
+        self.tenant_weights = dict(weights)
+        for shard in self.shards():
+            shard.admission.set_tenant_weights(self.tenant_weights)
+
+    def shards(self) -> List[DatasetShard]:
+        """A point-in-time copy of the live shards (metrics callbacks)."""
+        with self._lock:
+            return list(self._shards.values())
+
+    def _observe_query(
+        self,
+        dataset: str,
+        ok: bool,
+        backend: Optional[str],
+        cache_hit: bool,
+        build_seconds: float,
+        query_seconds: float,
+    ) -> None:
+        hist = self._metrics_query_seconds
+        if hist is not None and ok:
+            hist.labels(dataset=dataset).observe(query_seconds)
+
+    def bind_metrics(self, metrics: MetricsRegistry) -> None:
+        """Register the ``serve_*`` families against this registry.
+
+        Almost everything is a render-time callback over the live
+        shards — cache counters, queue occupancy, per-backend totals
+        are already tracked by the shards for ``/stats``, so scraping
+        reads the same state instead of double-counting.  The one
+        event-driven family is the per-query latency histogram, fed by
+        each shard's ``metrics_observer`` hook.
+
+        Rebinding (a registry handed to a second app) simply registers
+        the families against the new app's metrics registry; the old
+        binding's callbacks keep reading the same live shards.
+        """
+        self._metrics = metrics
+        self._metrics_query_seconds = metrics.histogram(
+            "serve_query_seconds",
+            "Per-query execution wall seconds (successful queries).",
+            ("dataset",),
+        )
+
+        def per_shard(fn):
+            def collect():
+                return [
+                    ({"dataset": shard.name}, fn(shard)) for shard in self.shards()
+                ]
+
+            return collect
+
+        metrics.callback(
+            "serve_datasets", "gauge", "Registered datasets.",
+            lambda: [({}, len(self))],
+        )
+        metrics.callback(
+            "serve_cache_hits_total", "counter",
+            "Index-cache hits (an index was resident).",
+            per_shard(lambda s: s.cache.stats.hits),
+        )
+        metrics.callback(
+            "serve_cache_misses_total", "counter",
+            "Index-cache misses (a build was needed).",
+            per_shard(lambda s: s.cache.stats.misses),
+        )
+        metrics.callback(
+            "serve_cache_evictions_total", "counter",
+            "Indexes evicted by the shard's resident-entry bound.",
+            per_shard(lambda s: s.cache.stats.evictions),
+        )
+        metrics.callback(
+            "serve_cache_build_seconds_total", "counter",
+            "Wall seconds spent building indexes.",
+            per_shard(lambda s: s.cache.stats.build_seconds),
+        )
+        metrics.callback(
+            "serve_cache_resident_indexes", "gauge",
+            "Indexes currently resident in the shard's cache.",
+            per_shard(lambda s: len(s.cache)),
+        )
+        metrics.callback(
+            "serve_queue_depth", "gauge",
+            "Admitted (queued + running) queries on the shard.",
+            per_shard(lambda s: s.admission.in_flight),
+        )
+        metrics.callback(
+            "serve_queue_limit", "gauge",
+            "The shard's admission limit.",
+            per_shard(lambda s: s.admission.limit),
+        )
+        metrics.callback(
+            "serve_admission_rejected_total", "counter",
+            "Query slots denied at admission (any bound).",
+            per_shard(lambda s: s.admission.rejected),
+        )
+
+        def backend_samples(field):
+            def collect():
+                out = []
+                for shard in self.shards():
+                    for backend, counters in shard.backend_counters().items():
+                        out.append(
+                            (
+                                {"dataset": shard.name, "backend": backend},
+                                counters[field],
+                            )
+                        )
+                return out
+
+            return collect
+
+        metrics.callback(
+            "serve_queries_total", "counter",
+            "Finished queries by resolved backend.",
+            backend_samples("queries"),
+        )
+        metrics.callback(
+            "serve_query_errors_total", "counter",
+            "Failed queries by resolved backend.",
+            backend_samples("errors"),
+        )
+
+        def tenant_in_flight():
+            out = []
+            for shard in self.shards():
+                for tenant, counters in shard.admission.tenant_snapshot().items():
+                    out.append(
+                        (
+                            {"dataset": shard.name, "tenant": tenant},
+                            counters["in_flight"],
+                        )
+                    )
+            return out
+
+        metrics.callback(
+            "serve_tenant_in_flight", "gauge",
+            "Admission slots a tenant currently holds on the shard.",
+            tenant_in_flight,
+        )
 
     def get(self, name: str) -> DatasetShard:
         with self._lock:

@@ -2,10 +2,12 @@
 
 Two layers live here.  :class:`AsyncApp` is the protocol half — the
 HTTP/1.1 keep-alive connection loop, error→status mapping, graceful
-drain and lifecycle — with routing left abstract; it exists so other
-front ends (the multi-process router in :mod:`repro.router`) can reuse
-the hardened connection handling without dragging in a dataset
-registry.  :class:`ServeApp` is the serving half: it wires the sharded
+drain, lifecycle, and the per-request metrics seam (every front end
+owns a :class:`~repro.obs.MetricsRegistry` and answers ``GET
+/metrics``) — with routing left abstract; it exists so other front
+ends (the multi-process router in :mod:`repro.router`) can reuse the
+hardened connection handling without dragging in a dataset registry.
+:class:`ServeApp` is the serving half: it wires the sharded
 :class:`~repro.serve.registry.DatasetRegistry` and the bounded async
 bridge into an HTTP/NDJSON protocol:
 
@@ -30,8 +32,17 @@ bridge into an HTTP/NDJSON protocol:
   connection counters and its **identity block** (``pid``, bound
   address, monotonic age) so an aggregating router can attribute
   counters to the worker process that produced them;
+* ``GET    /metrics``  — the Prometheus text exposition of the app's
+  metrics registry (see ``docs/metrics.md`` for the family reference);
 * ``POST   /shutdown`` — graceful stop: new connections are refused,
   in-flight requests drain, idle keep-alive connections are closed.
+
+With a tenant table configured (``--api-keys``; see
+:mod:`repro.serve.tenants`), ``POST /query`` requires a known
+``X-API-Key`` header (401 otherwise) and is metered per tenant:
+weighted fair admission shares on each shard's queue, optional
+per-minute quotas answered with 429 + ``Retry-After``, and
+tenant-labelled metrics.  All other routes stay unauthenticated.
 
 Connections are persistent (HTTP/1.1 keep-alive):
 :meth:`AsyncApp.handle_connection` is a request loop that serves many
@@ -60,6 +71,8 @@ from ..engine.planner import plan_batch
 from ..engine.results import QueryResult, record_to_dict
 from ..engine.spec import QuerySpec, apply_default_backend
 from ..errors import ReproError, ValidationError
+from ..obs import CONTENT_TYPE as METRICS_CONTENT_TYPE
+from ..obs import MetricsRegistry
 from .bridge import OverloadedError, submit_plans
 from .http import (
     MAX_HEADER_BYTES,
@@ -69,6 +82,7 @@ from .http import (
     read_request,
     send_chunk,
     send_json,
+    send_text,
     start_stream,
     want_keep_alive,
 )
@@ -79,6 +93,7 @@ from .registry import (
     DuplicateDatasetError,
     UnknownDatasetError,
 )
+from .tenants import AuthError, Tenant, TenantTable
 
 __all__ = [
     "ConnectionState",
@@ -140,6 +155,10 @@ class ConnectionState:
     keep_alive: bool = False
     keep_alive_header: Optional[str] = None
     broken: bool = False
+    #: HTTP status of the response written for this request (set by
+    #: :meth:`AsyncApp._respond` and the streaming paths); feeds the
+    #: ``status`` label of ``http_requests_total``.
+    status: Optional[int] = None
 
     def response_headers(self) -> Dict[str, str]:
         """The negotiated ``Keep-Alive`` advertisement, when applicable."""
@@ -194,6 +213,40 @@ class AsyncApp:
         #: Live connection task -> is it dispatching a request right now?
         #: (Only touched from the event loop; drives graceful drain.)
         self._conn_busy: Dict["asyncio.Task[None]", bool] = {}
+        #: The app's metric families (``GET /metrics``).  Per-app, not
+        #: process-global, so several servers in one process (tests,
+        #: router + embedded workers) scrape independently.
+        self.metrics = MetricsRegistry()
+        self._m_requests = self.metrics.counter(
+            "http_requests_total",
+            "Requests answered, by method, normalised route and status.",
+            ("method", "route", "status"),
+        )
+        self._m_request_seconds = self.metrics.histogram(
+            "http_request_seconds",
+            "Request dispatch wall seconds (first byte read to response done).",
+            ("route",),
+        )
+        self.metrics.callback(
+            "process_uptime_seconds", "gauge",
+            "Seconds since this front end started (monotonic clock).",
+            lambda: [({}, time.monotonic() - self.started_monotonic)],
+        )
+        self.metrics.callback(
+            "http_connections_opened_total", "counter",
+            "TCP connections accepted.",
+            lambda: [({}, self.connections_opened)],
+        )
+        self.metrics.callback(
+            "http_connections_active", "gauge",
+            "Connections currently open.",
+            lambda: [({}, self.connections_active)],
+        )
+        self.metrics.callback(
+            "http_keepalive_reuses_total", "counter",
+            "Requests served on an already-open connection.",
+            lambda: [({}, self.keepalive_reuses)],
+        )
 
     # ------------------------------------------------------------------
     async def handle_connection(
@@ -255,10 +308,13 @@ class AsyncApp:
                     )
                 if task is not None:
                     self._conn_busy[task] = True
+                dispatch_t0 = time.perf_counter()
                 try:
                     await self._dispatch(request, writer, state)
                 except ProtocolError as exc:
                     await self._respond(writer, state, exc.status, {"error": str(exc)})
+                except AuthError as exc:
+                    await self._respond(writer, state, 401, {"error": str(exc)})
                 except ValidationError as exc:
                     await self._respond(writer, state, 400, {"error": str(exc)})
                 except UnknownDatasetError as exc:
@@ -286,6 +342,15 @@ class AsyncApp:
                 finally:
                     if task is not None:
                         self._conn_busy[task] = False
+                    route = self._route_label(request)
+                    self._m_requests.labels(
+                        method=request.method,
+                        route=route,
+                        status=str(state.status or 0),
+                    ).inc()
+                    self._m_request_seconds.labels(route=route).observe(
+                        time.perf_counter() - dispatch_t0
+                    )
                 if state.broken or not state.keep_alive:
                     break
         except (ConnectionError, asyncio.TimeoutError):
@@ -309,6 +374,7 @@ class AsyncApp:
         extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         """One complete JSON response with the negotiated framing headers."""
+        state.status = status
         headers = {**state.response_headers(), **(extra_headers or {})}
         await send_json(
             writer, status, payload,
@@ -319,6 +385,33 @@ class AsyncApp:
         self, request: Request, writer: asyncio.StreamWriter, state: ConnectionState
     ) -> None:
         raise NotImplementedError  # pragma: no cover - subclasses route
+
+    def _route_label(self, request: Request) -> str:
+        """The ``route`` label for one request: a *bounded* route set.
+
+        Subclasses collapse parameterised paths (``/datasets/<name>`` →
+        ``/datasets/{name}``) and unknown paths to ``other`` so client
+        typos cannot mint unbounded label cardinality.
+        """
+        return request.path
+
+    # ------------------------------------------------------------------
+    async def _metrics_text(self) -> str:
+        """The exposition body of ``GET /metrics`` (router overrides to
+        merge in its workers' re-labelled scrapes)."""
+        return self.metrics.render()
+
+    async def _respond_metrics(
+        self, writer: asyncio.StreamWriter, state: ConnectionState
+    ) -> None:
+        text = await self._metrics_text()
+        state.status = 200
+        await send_text(
+            writer, 200, text,
+            content_type=METRICS_CONTENT_TYPE,
+            extra_headers=state.response_headers() or None,
+            close=not state.keep_alive,
+        )
 
     # ------------------------------------------------------------------
     def identity(self) -> Dict[str, Any]:
@@ -441,6 +534,7 @@ class ServeApp(AsyncApp):
         max_requests_per_connection: int = DEFAULT_MAX_REQUESTS_PER_CONNECTION,
         drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
         default_backend: Optional[str] = None,
+        tenants: Optional[TenantTable] = None,
     ) -> None:
         super().__init__(
             idle_timeout=idle_timeout,
@@ -453,6 +547,55 @@ class ServeApp(AsyncApp):
             queue_limit=queue_limit,
             default_backend=default_backend,
         )
+        #: Optional tenant table (``--api-keys``): when set, ``POST
+        #: /query`` requires a known ``X-API-Key`` and is metered per
+        #: tenant (fair shares + quotas).
+        self.tenants = tenants
+        if tenants is not None:
+            self.registry.set_tenant_weights(tenants.weights())
+        self.registry.bind_metrics(self.metrics)
+        self._m_stream_bytes = self.metrics.counter(
+            "serve_stream_bytes_total",
+            "NDJSON payload bytes streamed to query clients.",
+            ("dataset",),
+        )
+        # Tenant families are registered unconditionally — with no
+        # tenant table they render as empty families — so the metric
+        # name set is identical with and without QoS enabled (the
+        # docs-sync check depends on that).
+        self._m_tenant_queries = self.metrics.counter(
+            "serve_tenant_queries_total",
+            "Queries admitted per tenant.",
+            ("tenant",),
+        )
+        self._m_tenant_rejections = self.metrics.counter(
+            "serve_tenant_rejections_total",
+            "Per-tenant rejections by reason: queue, share or quota.",
+            ("tenant", "reason"),
+        )
+        self.metrics.callback(
+            "serve_tenant_quota_remaining", "gauge",
+            "Queries left in the tenant's current per-minute quota window.",
+            self._tenant_quota_samples,
+        )
+
+    def _tenant_quota_samples(self):
+        if self.tenants is None:
+            return []
+        return [
+            ({"tenant": name}, remaining)
+            for name, (_, remaining) in sorted(self.tenants.quota_snapshot().items())
+        ]
+
+    def _resolve_tenant(self, request: Request) -> Optional[Tenant]:
+        """The caller's tenant, or ``None`` when QoS is not configured.
+
+        Raises :class:`AuthError` (→ 401) for a missing or unknown
+        ``X-API-Key`` once a tenant table is loaded.
+        """
+        if self.tenants is None:
+            return None
+        return self.tenants.resolve(request.headers.get("x-api-key"))
 
     # ------------------------------------------------------------------
     async def _dispatch(
@@ -465,6 +608,8 @@ class ServeApp(AsyncApp):
             )
         elif route == ("GET", "/stats"):
             await self._respond(writer, state, 200, self.stats())
+        elif route == ("GET", "/metrics"):
+            await self._respond_metrics(writer, state)
         elif route == ("GET", "/datasets"):
             await self._respond(
                 writer,
@@ -491,10 +636,21 @@ class ServeApp(AsyncApp):
             state.keep_alive = False
             await self._respond(writer, state, 200, {"ok": True, "stopping": True})
             self._shutdown.set()
-        elif request.path in ("/health", "/stats", "/datasets", "/query", "/shutdown"):
+        elif request.path in (
+            "/health", "/stats", "/metrics", "/datasets", "/query", "/shutdown",
+        ):
             raise ProtocolError(405, f"{request.method} not allowed on {request.path}")
         else:
             raise ProtocolError(404, f"no route for {request.path!r}")
+
+    def _route_label(self, request: Request) -> str:
+        if request.path in (
+            "/health", "/stats", "/metrics", "/datasets", "/query", "/shutdown",
+        ):
+            return request.path
+        if request.path.startswith("/datasets/"):
+            return "/datasets/{name}"
+        return "other"
 
     # ------------------------------------------------------------------
     async def _handle_register(
@@ -568,14 +724,42 @@ class ServeApp(AsyncApp):
             raise ProtocolError(400, "query body needs a non-empty 'queries' list")
         include_records = bool(doc.get("include_records", True))
 
+        tenant = self._resolve_tenant(request)  # may raise AuthError → 401
         shard = self.registry.get(name)
         # Per-dataset default backend; precedence rules (explicit wins,
         # kind-aware) live in one place: engine.spec.apply_default_backend.
         queries = apply_default_backend(queries, shard.default_backend)
         specs = [QuerySpec.from_dict(q) for q in queries]
         plans = plan_batch(specs, shard.tps)
+        if tenant is not None:
+            # Quota before admission: a breach must not consume queue
+            # slots.  check_and_consume only commits on success, so a
+            # rejected burst does not eat the next window either.
+            retry_after = self.tenants.check_and_consume(tenant.name, len(plans))
+            if retry_after is not None:
+                self._m_tenant_rejections.labels(
+                    tenant=tenant.name, reason="quota"
+                ).inc(len(plans))
+                raise OverloadedError(
+                    f"tenant {tenant.name!r} exceeded its per-minute quota; "
+                    "retry after the window resets",
+                    retry_after=retry_after,
+                    reason="quota",
+                )
         before = shard.cache.stats.snapshot()
-        futures = submit_plans(shard, plans)  # may raise OverloadedError → 429
+        try:
+            # May raise OverloadedError → 429 (shard limit or fair share).
+            futures = submit_plans(
+                shard, plans, tenant=tenant.name if tenant is not None else None
+            )
+        except OverloadedError as exc:
+            if tenant is not None:
+                self._m_tenant_rejections.labels(
+                    tenant=tenant.name, reason=exc.reason
+                ).inc(len(plans))
+            raise
+        if tenant is not None:
+            self._m_tenant_queries.labels(tenant=tenant.name).inc(len(plans))
 
         chunked = request.version != "HTTP/1.0"
         if not chunked:
@@ -584,13 +768,14 @@ class ServeApp(AsyncApp):
             # close instead, so the connection cannot be kept alive.
             state.keep_alive = False
         t0 = time.perf_counter()
+        state.status = 200
         await start_stream(
             writer, 200,
             extra_headers=state.response_headers() or None,
             close=not state.keep_alive,
             chunked=chunked,
         )
-        await send_chunk(
+        streamed = await send_chunk(
             writer,
             {"type": "batch-start", "dataset": name, "queries": len(plans)},
             chunked=chunked,
@@ -602,8 +787,8 @@ class ServeApp(AsyncApp):
                 if not result.ok:
                     n_errors += 1
                 for line in _result_lines(i, result, include_records):
-                    await send_chunk(writer, line, chunked=chunked)
-            await send_chunk(
+                    streamed += await send_chunk(writer, line, chunked=chunked)
+            streamed += await send_chunk(
                 writer,
                 {
                     "type": "batch-end",
@@ -639,11 +824,17 @@ class ServeApp(AsyncApp):
             # the done-callbacks.  ``broken`` makes the connection loop
             # close the socket instead of reusing it.
             state.broken = True
+        finally:
+            # Counted whether or not the stream finished: a truncated
+            # stream's bytes still crossed the wire.
+            self._m_stream_bytes.labels(dataset=name).inc(streamed)
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
         server = self.server_stats()
         server["datasets"] = len(self.registry)
+        if self.tenants is not None:
+            server["tenants"] = self.tenants.names()
         return {"server": server, "shards": self.registry.stats()}
 
     def _cleanup(self) -> None:
@@ -689,6 +880,7 @@ def run_server(
     drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
     default_backend: Optional[str] = None,
     datasets: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    api_keys: Optional[str] = None,
     announce=None,
 ) -> None:
     """Blocking entry point for ``python -m repro serve``."""
@@ -701,6 +893,7 @@ def run_server(
         max_requests_per_connection=max_requests_per_connection,
         drain_timeout=drain_timeout,
         default_backend=default_backend,
+        tenants=TenantTable.from_file(api_keys) if api_keys else None,
     )
     for name, spec in (datasets or {}).items():
         app.registry.register(name, spec)
@@ -784,6 +977,7 @@ def start_server_thread(
     max_requests_per_connection: int = DEFAULT_MAX_REQUESTS_PER_CONNECTION,
     drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
     default_backend: Optional[str] = None,
+    tenants: Optional[TenantTable] = None,
     boot_timeout: float = 15.0,
 ) -> ServerHandle:
     """Start a server on a daemon thread; returns once it is listening."""
@@ -796,5 +990,6 @@ def start_server_thread(
         max_requests_per_connection=max_requests_per_connection,
         drain_timeout=drain_timeout,
         default_backend=default_backend,
+        tenants=tenants,
     )
     return start_app_thread(app, host, port, boot_timeout=boot_timeout)

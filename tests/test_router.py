@@ -247,6 +247,45 @@ class TestRouterProtocol:
         placements = doc["router"]["placement"]["datasets"]
         assert len({placements["social"], placements["coauthor"]}) == 2
 
+    def test_metrics_fleet_scrape_relabels_workers(self, router):
+        from repro.obs import counter_value, parse_exposition
+
+        # Touch both datasets so both workers have served something
+        # (they sit on distinct slots — asserted elsewhere).
+        for name, tau in (("social", 2.0), ("coauthor", 15.0)):
+            status, lines = query_lines(
+                router, name, [{"kind": "pairs-sum", "tau": tau}]
+            )
+            assert status == 200 and lines[-1]["ok"]
+        status, data = request(router, "GET", "/metrics")
+        assert status == 200
+        # The merged fleet exposition must itself be strictly valid.
+        families = parse_exposition(data.decode())
+
+        # Router-own families are unlabelled by worker...
+        assert counter_value(families, "router_workers") == 2.0
+        up = {
+            dict(s.labels)["worker"]: s.value
+            for s in families["router_worker_up"].samples
+        }
+        assert up == {"worker-0": 1.0, "worker-1": 1.0}
+        # ...while every re-exported serve family carries the slot name.
+        workers_seen = {
+            dict(s.labels).get("worker")
+            for s in families["serve_queries_total"].samples
+        }
+        assert workers_seen == {"worker-0", "worker-1"}
+        assert counter_value(
+            families, "serve_queries_total", {"worker": "worker-0"}
+        ) + counter_value(
+            families, "serve_queries_total", {"worker": "worker-1"}
+        ) == counter_value(families, "serve_queries_total")
+        # The query proxied above is visible end-to-end: once in the
+        # router's own counter, once in the owning worker's.
+        assert counter_value(families, "router_proxied_queries_total") >= 1.0
+        assert counter_value(families, "serve_queries_total") >= 1.0
+        assert counter_value(families, "router_worker_scrape_errors_total") == 0.0
+
     def test_register_reply_names_the_worker(self, router):
         status, doc = request_json(
             router,

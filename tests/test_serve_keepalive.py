@@ -620,7 +620,7 @@ class TestCancelledMidStream:
             registry.register("d", random_tps(n=20, seed=1))
             app = ServeApp(registry=registry)
 
-            def never_finishing_submit(shard, plans):
+            def never_finishing_submit(shard, plans, tenant=None):
                 return [asyncio.get_running_loop().create_future()]
 
             monkeypatch.setattr(server_mod, "submit_plans", never_finishing_submit)
