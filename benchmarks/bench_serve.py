@@ -19,7 +19,13 @@ on separate shards**, then runs four phases:
    connections.  Identical workload, so the latency delta is purely
    connection amortisation;
 4. **overload** — the shard's admission queue is saturated and a burst
-   of requests is fired to demonstrate bounded-queue 429 rejection.
+   of requests is fired to demonstrate bounded-queue 429 rejection;
+5. **ingestion** — NDJSON event batches are streamed into the warm
+   shard (``POST /datasets/social/events``), timing append throughput
+   and the query that follows each epoch bump, then the merged point
+   set is registered fresh and queried cold — the full re-registration
+   baseline the incremental path is compared against.  Both paths must
+   report identical per-query counts (the versioned-dataset identity).
 
 Server-side facts come from **/metrics diffs**: the driver scrapes
 ``GET /metrics`` before and after each phase and derives latency
@@ -113,7 +119,14 @@ class Client:
 
     def request(self, method, path, body=None):
         payload = json.dumps(body) if body is not None else None
-        headers = {"Content-Type": "application/json"}
+        return self._request(method, path, payload, "application/json")
+
+    def request_ndjson(self, method, path, payload):
+        """Raw-body request (event batches are NDJSON, not JSON)."""
+        return self._request(method, path, payload, "application/x-ndjson")
+
+    def _request(self, method, path, payload, content_type):
+        headers = {"Content-Type": content_type}
         if not self.pooled:
             headers["Connection"] = "close"
             conn = self._new_conn()
@@ -174,6 +187,24 @@ def _query_once(client, dataset, include_records=False):
         return status, latency, None
     last = json.loads(data.decode().strip().rsplit("\n", 1)[-1])
     return status, latency, last
+
+
+def _query_counts(client, dataset, queries):
+    """Per-query count dicts from one streamed batch (None on error)."""
+    status, data = client.request(
+        "POST", "/query",
+        {"dataset": dataset, "queries": queries, "include_records": False},
+    )
+    if status != 200:
+        return status, None
+    counts = []
+    for line in data.decode().strip().split("\n"):
+        doc = json.loads(line)
+        if doc.get("type") == "result":
+            if not doc.get("ok"):
+                return status, None
+            counts.append(doc["counts"])
+    return status, counts
 
 
 def _percentile(sorted_values, q):
@@ -312,6 +343,10 @@ def main(argv=None) -> int:
                         help="requests per worker (per load mode)")
     parser.add_argument("--queue-limit", type=int, default=16,
                         help="per-shard admission bound")
+    parser.add_argument("--append-batches", type=int, default=4,
+                        help="event batches streamed in the ingestion phase")
+    parser.add_argument("--events-per-batch", type=int, default=15,
+                        help="events per appended batch")
     parser.add_argument("--out", default="BENCH_serve.json")
     args = parser.parse_args(argv)
 
@@ -474,6 +509,156 @@ def main(argv=None) -> int:
         if status != 200:
             failures.append(f"post-overload query failed: HTTP {status}")
 
+        # -- ingestion: append throughput + maintained-query latency --
+        # Streams --append-batches NDJSON batches into the (warm)
+        # social shard, timing each append and the query that follows
+        # it (triangles ride incremental maintenance across the epoch
+        # bump; the other families rebuild once).  The same merged
+        # point set is then registered fresh under another name and
+        # queried cold — the full re-registration baseline — and both
+        # paths must report identical per-query counts.
+        n_batches, per_batch = args.append_batches, args.events_per_batch
+        events = [
+            {
+                "point": [0.31 + 0.003 * i, 0.42 + 0.002 * (i % 7)],
+                "start": 0.0,
+                "end": 20.0 + (i % 9),
+            }
+            for i in range(n_batches * per_batch)
+        ]
+        m_ing0 = scrape_metrics(admin)
+        append_walls, post_query_latencies = [], []
+        final_report = {}
+        for b in range(n_batches):
+            batch = "\n".join(
+                json.dumps(e) for e in events[b * per_batch:(b + 1) * per_batch]
+            ).encode()
+            t0 = time.perf_counter()
+            status, data = admin.request_ndjson(
+                "POST", "/datasets/social/events", batch
+            )
+            append_walls.append(time.perf_counter() - t0)
+            if status != 200:
+                failures.append(f"append batch {b}: HTTP {status} {data!r}")
+                continue
+            final_report = json.loads(data)["appended"]
+            if final_report["rejected"]:
+                failures.append(
+                    f"append batch {b} rejected events: {final_report['errors']}"
+                )
+            status, latency, end = _query_once(admin, "social")
+            if status != 200 or end is None or not end.get("ok"):
+                failures.append(f"post-append query {b}: HTTP {status}, {end}")
+            else:
+                post_query_latencies.append(latency)
+        m_ing1 = scrape_metrics(admin)
+        if final_report.get("epoch") != n_batches:
+            failures.append(
+                f"expected epoch {n_batches} after {n_batches} batches, "
+                f"got {final_report.get('epoch')}"
+            )
+        appended_events = counter_value(
+            m_ing1, "serve_events_appended_total", {"dataset": "social"}
+        ) - counter_value(
+            m_ing0, "serve_events_appended_total", {"dataset": "social"}
+        )
+        if appended_events != len(events):
+            failures.append(
+                f"metrics counted {appended_events:g} appended events, "
+                f"client sent {len(events)}"
+            )
+        migrated = counter_value(
+            m_ing1, "serve_cache_migrated_total", {"dataset": "social"}
+        ) - counter_value(m_ing0, "serve_cache_migrated_total", {"dataset": "social"})
+        invalidated = counter_value(
+            m_ing1, "serve_cache_invalidated_total", {"dataset": "social"}
+        ) - counter_value(
+            m_ing0, "serve_cache_invalidated_total", {"dataset": "social"}
+        )
+        if not migrated:
+            failures.append(
+                "no index migrations during ingestion — incremental "
+                "maintenance never ran on a warm shard"
+            )
+
+        # Full re-registration baseline: the merged point set, cold.
+        import os
+        import tempfile
+
+        from repro.datasets import workload_from_spec
+
+        merged = workload_from_spec(dict(DATASETS["social"], n=args.n)).with_events(
+            [e["point"] for e in events],
+            [e["start"] for e in events],
+            [e["end"] for e in events],
+        )
+        csv = tempfile.NamedTemporaryFile(
+            mode="w", suffix=".csv", delete=False
+        )
+        try:
+            for i in range(merged.n):
+                row = [*merged.points[i], merged.starts[i], merged.ends[i]]
+                csv.write(",".join("%.17g" % v for v in row) + "\n")
+            csv.close()
+            t0 = time.perf_counter()
+            status, data = admin.request(
+                "POST", "/datasets",
+                {"name": "social-fresh",
+                 "dataset": {"csv": csv.name, "metric": merged.metric.name}},
+            )
+            register_seconds = time.perf_counter() - t0
+            if status != 201:
+                failures.append(
+                    f"register social-fresh: HTTP {status} {data!r}"
+                )
+            t0 = time.perf_counter()
+            status, fresh_counts = _query_counts(
+                admin, "social-fresh", QUERIES["social"]
+            )
+            cold_query_seconds = time.perf_counter() - t0
+            if fresh_counts is None:
+                failures.append(f"cold query on social-fresh: HTTP {status}")
+            # The acceptance identity, through HTTP: the appended shard
+            # and the fresh registration answer every query alike.
+            status, appended_counts = _query_counts(
+                admin, "social", QUERIES["social"]
+            )
+            if appended_counts is None:
+                failures.append(f"post-ingest query on social: HTTP {status}")
+            elif fresh_counts is not None and appended_counts != fresh_counts:
+                failures.append(
+                    "append-then-query diverged from fresh registration: "
+                    f"{appended_counts} != {fresh_counts}"
+                )
+            admin.request("DELETE", "/datasets/social-fresh")
+        finally:
+            os.unlink(csv.name)
+
+        append_wall = sum(append_walls)
+        ingestion = {
+            "batches": n_batches,
+            "events_per_batch": per_batch,
+            "events_total": len(events),
+            "final_epoch": final_report.get("epoch"),
+            "append_wall_seconds": append_wall,
+            "events_per_second": (
+                len(events) / append_wall if append_wall else 0.0
+            ),
+            "append_latency_ms": _latency_ms(append_walls),
+            "server_append_seconds": counter_value(
+                m_ing1, "serve_append_seconds_total", {"dataset": "social"}
+            ) - counter_value(
+                m_ing0, "serve_append_seconds_total", {"dataset": "social"}
+            ),
+            "cache_migrated": migrated,
+            "cache_invalidated": invalidated,
+            "post_append_query_latency_ms": _latency_ms(post_query_latencies),
+            "full_reregistration": {
+                "register_seconds": register_seconds,
+                "cold_query_seconds": cold_query_seconds,
+            },
+        }
+
         # -- per-shard and connection statistics ----------------------
         status, data = admin.request("GET", "/stats")
         stats = json.loads(data) if status == 200 else {}
@@ -533,6 +718,7 @@ def main(argv=None) -> int:
                 "burst": 5,
                 "rejected_429": rejected,
             },
+            "ingestion": ingestion,
             "datasets": per_dataset,
             "failures": failures,
         }
@@ -568,6 +754,18 @@ def main(argv=None) -> int:
             f"server-side p50 {served_lat['p50']:.1f} ms  "
             f"p99 {served_lat['p99']:.1f} ms  "
             f"{load_metrics['stream_bytes']:.0f} B streamed"
+        )
+        print(
+            f"ingestion: {ingestion['events_total']} events over "
+            f"{ingestion['batches']} batches -> epoch "
+            f"{ingestion['final_epoch']} at "
+            f"{ingestion['events_per_second']:.0f} ev/s  "
+            f"({ingestion['cache_migrated']:g} migrations, "
+            f"{ingestion['cache_invalidated']:g} invalidations)  "
+            f"post-append query p50 "
+            f"{ingestion['post_append_query_latency_ms']['p50']:.1f} ms vs "
+            "re-register+cold "
+            f"{(ingestion['full_reregistration']['register_seconds'] + ingestion['full_reregistration']['cold_query_seconds']) * 1e3:.1f} ms"
         )
         print(
             f"serve bench: {total_requests} requests in {load_wall:.2f}s "

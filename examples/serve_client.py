@@ -31,27 +31,9 @@ sys.path.insert(
 
 from repro.obs import counter_value, histogram_snapshot, parse_exposition
 
-
-def probe(host, port, timeout=2):
-    """One throwaway health check to see whether a server is up."""
-    conn = http.client.HTTPConnection(host, port, timeout=timeout)
-    try:
-        conn.request("GET", "/health")
-        conn.getresponse().read()
-    finally:
-        conn.close()
-
-
-def request(conn, method, path, body=None):
-    """One request on the shared keep-alive connection."""
-    conn.request(
-        method,
-        path,
-        body=json.dumps(body) if body is not None else None,
-        headers={"Content-Type": "application/json"},
-    )
-    resp = conn.getresponse()
-    return resp.status, resp.read()
+# The client plumbing lives in the library so the `repro append` CLI
+# and the examples share one implementation.
+from repro.serve.client import append_events, probe, request
 
 
 def main() -> int:
@@ -118,6 +100,22 @@ def main() -> int:
                     f"  batch: {doc['queries']} queries, {doc['errors']} errors, "
                     f"{doc['wall_seconds'] * 1e3:.1f} ms"
                 )
+
+        # -- stream a few live events into the dataset: the epoch bumps,
+        #    indexes that support incremental maintenance are carried
+        #    over, and the next query sees the merged point set.
+        batch = "\n".join(
+            json.dumps({"point": [0.1 * i, 0.2 * i], "start": 0.0, "end": 30.0})
+            for i in range(1, 4)
+        ).encode()
+        status, doc = append_events(conn, "forum", batch)
+        report = doc.get("appended", {})
+        print(
+            f"POST /datasets/forum/events -> {status}: epoch "
+            f"{report.get('epoch')}, n={report.get('n')}, "
+            f"accepted {report.get('accepted')} / rejected {report.get('rejected')}, "
+            f"maintained={report.get('maintained_families')}"
+        )
 
         # -- per-shard statistics plus the server's connection counters
         status, data = request(conn, "GET", "/stats")

@@ -16,6 +16,7 @@ Commands::
     python -m repro batch      queries.json --output results.json
     python -m repro serve      --port 8765 --dataset 'soc={"workload":"social","n":400}'
     python -m repro route      --port 8766 --workers 4
+    python -m repro append     soc events.ndjson --port 8765
 
 Backend dispatch is uniform across the CLI: every query-running command
 takes ``--backend`` (default ``auto`` — the registry's cost model picks
@@ -48,6 +49,11 @@ as NDJSON over HTTP.
 supervised (restart-with-replay on death), datasets are placed by
 cost-weighted rendezvous hashing, and the same NDJSON protocol is
 exposed on one public port.
+
+``append`` streams an NDJSON event batch (file or stdin) into a served
+dataset via ``POST /datasets/<name>/events``, printing the new epoch
+and the accepted/rejected counts.  It works identically against a
+``serve`` process and the ``route`` tier.
 """
 
 from __future__ import annotations
@@ -221,6 +227,21 @@ def build_parser() -> argparse.ArgumentParser:
                       help="tenant file (JSON), forwarded to every worker; "
                            "the router passes X-API-Key through, workers "
                            "enforce fair shares and quotas")
+
+    p_app = sub.add_parser(
+        "append",
+        help="append an NDJSON event batch to a served dataset "
+             "(POST /datasets/<name>/events)",
+    )
+    p_app.add_argument("dataset", help="dataset name on the server or router")
+    p_app.add_argument("file", nargs="?", default="-",
+                       help="NDJSON events file, one "
+                            "{'point': […], 'start': s, 'end': e} object "
+                            "per line ('-' or omitted: stdin)")
+    p_app.add_argument("--host", default="127.0.0.1",
+                       help="serve or route address")
+    p_app.add_argument("--port", type=int, default=8765,
+                       help="serve or route port")
     return parser
 
 
@@ -526,6 +547,65 @@ def _run_route(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _run_append(args: argparse.Namespace, out) -> int:
+    """``repro append``: NDJSON file or stdin → the events endpoint.
+
+    Works identically against a single ``repro serve`` process and the
+    routing tier (which forwards to the owning worker and records the
+    batch for replay).  Exit code 0 when the server accepted at least
+    one event, 1 otherwise.
+    """
+    from .serve.client import append_events, connect, probe
+
+    if args.file == "-":
+        batch = sys.stdin.buffer.read()
+    else:
+        try:
+            with open(args.file, "rb") as fh:
+                batch = fh.read()
+        except OSError as exc:
+            raise ValidationError(
+                f"cannot read events file {args.file!r}: {exc}"
+            ) from exc
+    if not batch.strip():
+        raise ValidationError("event batch is empty")
+    try:
+        probe(args.host, args.port)
+    except OSError as exc:
+        raise ValidationError(
+            f"no server on {args.host}:{args.port} ({exc}); start one with "
+            "`repro serve` or `repro route`"
+        ) from exc
+    conn = connect(args.host, args.port)
+    try:
+        status, doc = append_events(conn, args.dataset, batch)
+    finally:
+        conn.close()
+    if status != 200:
+        print(f"append failed: HTTP {status} {doc}", file=out)
+        return 1
+    report = doc.get("appended", {})
+    where = f" (worker {doc['worker']})" if "worker" in doc else ""
+    print(
+        f"dataset {report.get('name')!r}{where}: epoch {report.get('epoch')}, "
+        f"n={report.get('n')}", file=out,
+    )
+    print(
+        f"accepted {report.get('accepted', 0)}, "
+        f"rejected {report.get('rejected', 0)}", file=out,
+    )
+    for err in report.get("errors", []):
+        print(f"  rejected: {err}", file=out)
+    maintained = report.get("maintained_families", [])
+    invalidated = report.get("invalidated_families", [])
+    if maintained or invalidated:
+        print(
+            f"indexes: maintained {', '.join(maintained) or '(none)'}; "
+            f"invalidated {', '.join(invalidated) or '(none)'}", file=out,
+        )
+    return 0 if report.get("accepted", 0) else 1
+
+
 def _timed(label: str, fn, out=sys.stdout):
     t0 = time.perf_counter()
     result = fn()
@@ -561,6 +641,8 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
             return _run_serve(args, out)
         if args.command == "route":
             return _run_route(args, out)
+        if args.command == "append":
+            return _run_append(args, out)
         if args.command == "backends":
             return _run_backends(args, out)
         tps = load_workload(args)

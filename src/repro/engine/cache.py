@@ -66,6 +66,8 @@ class CacheStats:
     builds: int = 0
     evictions: int = 0
     failed_waits: int = 0
+    migrated: int = 0
+    invalidated: int = 0
     build_seconds: float = 0.0
 
     @property
@@ -84,6 +86,8 @@ class CacheStats:
             "builds": self.builds,
             "evictions": self.evictions,
             "failed_waits": self.failed_waits,
+            "migrated": self.migrated,
+            "invalidated": self.invalidated,
             "build_seconds": self.build_seconds,
             "hit_rate": self.hit_rate,
         }
@@ -95,6 +99,8 @@ class CacheStats:
             builds=self.builds,
             evictions=self.evictions,
             failed_waits=self.failed_waits,
+            migrated=self.migrated,
+            invalidated=self.invalidated,
             build_seconds=self.build_seconds,
         )
 
@@ -106,6 +112,8 @@ class CacheStats:
             builds=self.builds - earlier.builds,
             evictions=self.evictions - earlier.evictions,
             failed_waits=self.failed_waits - earlier.failed_waits,
+            migrated=self.migrated - earlier.migrated,
+            invalidated=self.invalidated - earlier.invalidated,
             build_seconds=self.build_seconds - earlier.build_seconds,
         )
 
@@ -235,6 +243,64 @@ class IndexCache:
             self._stats.evictions += 1
 
     # ------------------------------------------------------------------
+    def advance(
+        self,
+        old_fingerprint: str,
+        new_fingerprint: str,
+        maintainer: Optional[Callable[[IndexKey, Any], Optional[Any]]] = None,
+    ) -> Dict[str, list]:
+        """Carry the cache across a dataset epoch bump.
+
+        Every *completed* entry keyed on ``old_fingerprint`` is offered
+        to ``maintainer(key, index)``: a non-``None`` return value is
+        re-keyed under ``new_fingerprint`` as a ready entry (the family
+        keeps hitting), while ``None`` — or no maintainer at all —
+        invalidates the entry, so that family's next request misses and
+        rebuilds exactly once through the normal single-flight path.
+
+        In-flight builds are deliberately left untouched under their
+        old key: their waiters planned against the old epoch and must
+        receive the old-epoch index, and a query planned after the bump
+        carries ``new_fingerprint`` in its key, so it can never join an
+        old-epoch flight or be handed a pre-append index.
+
+        Returns ``{"migrated": [new keys], "invalidated": [old keys]}``.
+        """
+        if old_fingerprint == new_fingerprint:
+            raise ValueError("advance() requires distinct fingerprints")
+        with self._lock:
+            stale = [
+                (key, entry)
+                for key, entry in self._entries.items()
+                if key.fingerprint == old_fingerprint and entry.ready.is_set()
+            ]
+        migrated: list = []
+        invalidated: list = []
+        for key, entry in stale:
+            # Maintenance may rebuild structures — run it outside the
+            # lock; old-epoch readers keep hitting the old entry until
+            # the swap below.  Maintainers return fresh objects (never
+            # mutate ``entry.index`` in place) for exactly that reason.
+            kept = maintainer(key, entry.index) if maintainer is not None else None
+            new_key = key._replace(fingerprint=new_fingerprint)
+            with self._lock:
+                if self._entries.get(key) is entry:
+                    del self._entries[key]
+                else:
+                    continue  # evicted or replaced mid-maintenance
+                if kept is None or new_key in self._entries:
+                    # No maintenance, or a racing build already owns the
+                    # new-epoch slot (the single-flight winner stands).
+                    self._stats.invalidated += 1
+                    invalidated.append(key)
+                    continue
+                slot = _Entry(index=kept, build_seconds=entry.build_seconds)
+                slot.ready.set()
+                self._entries[new_key] = slot
+                self._stats.migrated += 1
+                migrated.append(new_key)
+        return {"migrated": migrated, "invalidated": invalidated}
+
     def peek(self, key: IndexKey) -> Optional[Any]:
         """The cached index for ``key`` without counting a request."""
         with self._lock:

@@ -1,12 +1,15 @@
 """The placement manifest: which worker owns which dataset.
 
 The manifest is the router's single source of truth for ownership.  It
-records, per dataset, the owning worker slot and the original
-registration payload (the ``POST /datasets`` body), which is exactly
-what restart-with-replay needs: when a worker dies, the supervisor
-replays every payload the manifest says the dead worker owned onto its
+records, per dataset, the owning worker slot, the original
+registration payload (the ``POST /datasets`` body) and the ordered log
+of event batches appended since, which is exactly what
+restart-with-replay needs: when a worker dies, the supervisor replays
+every payload the manifest says the dead worker owned onto its
 replacement (with ``replace=True``, so replay is idempotent against
-half-restored state).
+half-restored state), then re-appends each recorded event batch in
+order — the replacement converges on the served state, not just the
+seed.
 
 With a ``path`` the manifest also persists itself — one atomic JSON
 write per mutation — so a *router* restart can rebuild the whole fleet
@@ -29,14 +32,31 @@ __all__ = ["ManifestEntry", "PlacementManifest"]
 
 @dataclass(frozen=True)
 class ManifestEntry:
-    """One placement record: dataset name, owner slot, replayable payload."""
+    """One placement record: dataset name, owner slot, replayable payload.
+
+    ``events`` is the ordered log of NDJSON event batches appended to
+    the dataset *after* its registration (``POST /datasets/<name>/events``
+    bodies, verbatim).  Replay re-registers the seed payload and then
+    re-appends every batch in order, so a restarted worker converges on
+    the same epoch and point set the fleet served before the crash —
+    not just the seed.  A re-registration (``replace=True`` through the
+    router) resets the log along with the epoch.
+    """
 
     name: str
     worker: str
     payload: Dict[str, Any]
+    events: Tuple[str, ...] = ()
 
     def as_dict(self) -> Dict[str, Any]:
-        return {"name": self.name, "worker": self.worker, "payload": self.payload}
+        doc: Dict[str, Any] = {
+            "name": self.name,
+            "worker": self.worker,
+            "payload": self.payload,
+        }
+        if self.events:
+            doc["events"] = list(self.events)
+        return doc
 
 
 class PlacementManifest:
@@ -55,21 +75,55 @@ class PlacementManifest:
 
     # ------------------------------------------------------------------
     def record(
-        self, name: str, worker: str, payload: Mapping[str, Any]
+        self,
+        name: str,
+        worker: str,
+        payload: Mapping[str, Any],
+        events: Tuple[str, ...] = (),
     ) -> Optional[ManifestEntry]:
         """Record (or move) a placement; returns the entry it displaced.
 
         ``payload`` is stored without its ``replace`` flag — replay
         always forces ``replace=True`` itself, and a stale ``replace``
         from the original request must not leak into later replays.
+
+        A fresh registration resets the dataset to epoch 0, so the
+        event log resets with it; callers that merely *move* an entry
+        (bootstrap re-placement after a fleet change) pass the old
+        entry's ``events`` through to keep the log.
         """
         clean = {k: v for k, v in dict(payload).items() if k != "replace"}
-        entry = ManifestEntry(name=name, worker=worker, payload=clean)
+        entry = ManifestEntry(
+            name=name, worker=worker, payload=clean, events=tuple(events)
+        )
         with self._lock:
             old = self._entries.get(name)
             self._entries[name] = entry
             self._save_locked()
         return old
+
+    def record_events(self, name: str, batch: str) -> Optional[ManifestEntry]:
+        """Append one accepted event batch to a dataset's replay log.
+
+        ``batch`` is the raw NDJSON body the owning worker just
+        accepted, stored verbatim so replay POSTs the identical bytes.
+        Returns the updated entry, or ``None`` for an unknown name (the
+        dataset was deleted while the append was in flight — nothing to
+        replay, so nothing is recorded).
+        """
+        with self._lock:
+            old = self._entries.get(name)
+            if old is None:
+                return None
+            entry = ManifestEntry(
+                name=old.name,
+                worker=old.worker,
+                payload=old.payload,
+                events=old.events + (batch,),
+            )
+            self._entries[name] = entry
+            self._save_locked()
+        return entry
 
     def remove(self, name: str) -> Optional[ManifestEntry]:
         with self._lock:
@@ -135,11 +189,14 @@ class PlacementManifest:
                 "{'datasets': [{'name', 'worker', 'payload'}, ...]}"
             )
         for raw in entries:
+            events = raw.get("events", []) if isinstance(raw, Mapping) else None
             if (
                 not isinstance(raw, Mapping)
                 or not isinstance(raw.get("name"), str)
                 or not isinstance(raw.get("worker"), str)
                 or not isinstance(raw.get("payload"), Mapping)
+                or not isinstance(events, list)
+                or not all(isinstance(b, str) for b in events)
             ):
                 raise ValidationError(
                     f"malformed placement manifest entry in {path!r}: {raw!r}"
@@ -148,4 +205,5 @@ class PlacementManifest:
                 name=raw["name"],
                 worker=raw["worker"],
                 payload=dict(raw["payload"]),
+                events=tuple(events),
             )

@@ -13,6 +13,10 @@ but owns **placement** instead of shards:
   delivery survive the extra hop, and a worker dying mid-stream
   surfaces as a cleanly truncated chunked body (no terminal 0-chunk),
   exactly like a direct serve crash would;
+* ``POST   /datasets/<name>/events`` forwards an NDJSON event batch to
+  the owning worker verbatim and, once the worker accepts it, records
+  the batch in the manifest's event log — restart-with-replay and
+  router boots then restore appended state, not just the seed;
 * ``DELETE /datasets/<name>`` forwards to the owner and releases the
   placement (the rebalancing primitive);
 * ``GET    /stats`` fans out to every worker and aggregates their
@@ -129,6 +133,7 @@ class RouterApp(AsyncApp):
         self.proxy_unavailable = 0
         self.registrations = 0
         self.deletions = 0
+        self.forwarded_appends = 0
         self.upstream_connects = 0
         self.upstream_reuses = 0
         #: Idle upstream keep-alive sockets per (slot, generation).
@@ -203,6 +208,17 @@ class RouterApp(AsyncApp):
             "router_deletions_total", "counter",
             "Dataset deletions forwarded to workers.",
             lambda: [({}, self.deletions)],
+        )
+        m.callback(
+            "router_forwarded_appends_total", "counter",
+            "Event-batch appends forwarded to owning workers and accepted.",
+            lambda: [({}, self.forwarded_appends)],
+        )
+        m.callback(
+            "router_replayed_event_batches_total", "counter",
+            "Event batches re-appended from the manifest during replay "
+            "(worker restarts and router boots).",
+            lambda: [({}, self.pool.replayed_event_batches_total)],
         )
         m.callback(
             "router_upstream_connects_total", "counter",
@@ -490,6 +506,7 @@ class RouterApp(AsyncApp):
                             "name": entry.name,
                             "worker": entry.worker,
                             "dataset": entry.payload.get("dataset"),
+                            "event_batches": len(entry.events),
                         }
                         for entry in sorted(
                             self.manifest.entries(), key=lambda e: e.name
@@ -500,11 +517,18 @@ class RouterApp(AsyncApp):
         elif route == ("POST", "/datasets"):
             await self._handle_register(request, writer, state)
         elif request.path.startswith("/datasets/") and len(request.path) > 10:
-            if request.method != "DELETE":
+            if request.path.endswith("/events"):
+                if request.method != "POST":
+                    raise ProtocolError(
+                        405, f"{request.method} not allowed on {request.path}"
+                    )
+                await self._handle_append(request, writer, state)
+            elif request.method != "DELETE":
                 raise ProtocolError(
                     405, f"{request.method} not allowed on {request.path}"
                 )
-            await self._handle_unregister(request, writer, state)
+            else:
+                await self._handle_unregister(request, writer, state)
         elif route == ("POST", "/query"):
             await self._handle_query(request, writer, state)
         elif route == ("GET", "/metrics"):
@@ -526,6 +550,8 @@ class RouterApp(AsyncApp):
         ):
             return request.path
         if request.path.startswith("/datasets/"):
+            if request.path.endswith("/events"):
+                return "/datasets/{name}/events"
             return "/datasets/{name}"
         return "other"
 
@@ -668,6 +694,49 @@ class RouterApp(AsyncApp):
         elif code == 0:
             payload["worker_unreachable"] = True
         await self._respond(writer, state, 200, payload)
+
+    async def _handle_append(
+        self, request: Request, writer: asyncio.StreamWriter, state: ConnectionState
+    ) -> None:
+        """``POST /datasets/<name>/events`` — forward to the owner.
+
+        The NDJSON body passes through verbatim (it is not JSON, so
+        this rides :meth:`_upstream_request` directly rather than the
+        JSON round trip).  A batch the worker *accepted* — any accepted
+        count, even alongside rejected lines — is recorded in the
+        manifest's event log, so restart-with-replay and router boots
+        restore the appended state, not just the seed registration.
+        """
+        name = unquote(request.path[len("/datasets/"): -len("/events")])
+        if not name:
+            raise ProtocolError(404, "no route for '/datasets//events'")
+        if not request.body:
+            raise ProtocolError(400, "event batch body must not be empty")
+        slot, status = self._worker_for(name)
+        code, up_headers, up_reader, up_writer = await self._upstream_request(
+            status, "POST", f"/datasets/{quote(name, safe='')}/events",
+            request.body, UPSTREAM_TIMEOUT,
+        )
+        raw = await self._read_upstream_body(
+            status, up_headers, up_reader, up_writer, UPSTREAM_TIMEOUT
+        )
+        try:
+            body = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            body = {"error": raw.decode("utf-8", "replace")}
+        if code == 200:
+            self.forwarded_appends += 1
+            report = body.get("appended") if isinstance(body, dict) else None
+            accepted = report.get("accepted", 0) if isinstance(report, dict) else 0
+            if accepted:
+                # Log only batches that changed state: an all-rejected
+                # batch bumps nothing, and replaying it would be noise.
+                self.manifest.record_events(
+                    name, request.body.decode("utf-8", "replace")
+                )
+            if isinstance(body, dict):
+                body["worker"] = slot
+        await self._respond(writer, state, code, body)
 
     # ------------------------------------------------------------------
     async def _handle_query(
@@ -853,7 +922,9 @@ class RouterApp(AsyncApp):
             "queries": self.proxied_queries,
             "registrations": self.registrations,
             "deletions": self.deletions,
+            "appends": self.forwarded_appends,
             "unavailable": self.proxy_unavailable,
+            "replayed_event_batches": self.pool.replayed_event_batches_total,
         }
         router["placement"] = {
             "policy": "cost-weighted rendezvous (HRW)",
@@ -877,9 +948,10 @@ class RouterApp(AsyncApp):
         Called (blocking, before the listener binds) when a router
         starts with a persisted manifest: placement is recomputed —
         deterministic HRW gives the same worker for an unchanged
-        fleet — the registration is replayed with ``replace=True``,
-        and the manifest is updated in case the fleet *did* change.
-        Returns the number of datasets restored.
+        fleet — the seed registration is replayed with ``replace=True``
+        followed by the entry's recorded event batches in order, and
+        the manifest is updated (event log preserved) in case the
+        fleet *did* change.  Returns the number of datasets restored.
         """
         restored = 0
         for entry in self.manifest.entries():
@@ -887,13 +959,13 @@ class RouterApp(AsyncApp):
             status = self.pool.status(slot)
             if not status.running:
                 continue  # supervisor will replay once the slot is back
-            payload = dict(entry.payload, replace=True)
-            code, _body = worker_request(
-                status.host, status.port, "POST", "/datasets", payload,
-                timeout=UPSTREAM_TIMEOUT,
+            errors, _last = self.pool.replay_entry(
+                status.host, status.port, entry
             )
-            if code == 201:
-                self.manifest.record(entry.name, slot, entry.payload)
+            if errors == 0:
+                self.manifest.record(
+                    entry.name, slot, entry.payload, events=entry.events
+                )
                 restored += 1
         return restored
 

@@ -13,7 +13,8 @@ down one shard set, not the service.  The pool:
 * **restarts** a dead worker in place — same slot id, fresh process,
   new generation — and **replays** every dataset the placement
   manifest says the slot owns (``replace=True``, so replay is
-  idempotent) before marking the slot running again;
+  idempotent), followed by each dataset's recorded event batches in
+  append order, before marking the slot running again;
 * **drains** on shutdown by fanning ``POST /shutdown`` out to every
   worker (each drains its own in-flight streams per the serve layer's
   graceful-stop rules), then waits, then kills stragglers.
@@ -36,9 +37,10 @@ import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
+from urllib.parse import quote
 
 from ..errors import ReproError, ValidationError
-from .manifest import PlacementManifest
+from .manifest import ManifestEntry, PlacementManifest
 from .placement import WorkerCandidate
 
 __all__ = [
@@ -90,21 +92,32 @@ def worker_request(
     path: str,
     payload: Optional[Any] = None,
     timeout: float = 30.0,
+    raw_body: Optional[bytes] = None,
 ) -> Tuple[int, bytes]:
     """One blocking HTTP round trip to a worker (supervisor-side).
 
     The proxy's event loop has its own async client; this is for the
     supervisor thread (replay, graceful drain) and boot-time
     registration, where blocking is fine and stdlib ``http.client``
-    is the simplest correct thing.
+    is the simplest correct thing.  ``raw_body`` sends a non-JSON body
+    verbatim (event-batch replay posts NDJSON); it is mutually
+    exclusive with ``payload``.
     """
+    if payload is not None and raw_body is not None:
+        raise ValidationError("worker_request takes payload or raw_body, not both")
+    if raw_body is not None:
+        body: Optional[bytes] = raw_body
+        content_type = "application/x-ndjson"
+    else:
+        body = json.dumps(payload).encode() if payload is not None else None
+        content_type = "application/json"
     conn = http.client.HTTPConnection(host, port, timeout=timeout)
     try:
         conn.request(
             method,
             path,
-            body=json.dumps(payload) if payload is not None else None,
-            headers={"Content-Type": "application/json", "Connection": "close"},
+            body=body,
+            headers={"Content-Type": content_type, "Connection": "close"},
         )
         resp = conn.getresponse()
         return resp.status, resp.read()
@@ -226,6 +239,11 @@ class WorkerPool:
         self.boot_timeout = boot_timeout
         self.python = python
         self.restarts_total = 0
+        #: Event batches re-appended during replay, fleet-wide (both the
+        #: supervisor's restart replay and the router's boot replay
+        #: count here — the ``router_replayed_event_batches_total``
+        #: metric reads it).
+        self.replayed_event_batches_total = 0
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._supervisor: Optional[threading.Thread] = None
@@ -408,25 +426,66 @@ class WorkerPool:
         if not adopt:
             proc.kill()
 
-    def _replay(self, slot: str, proc: _WorkerProcess) -> int:
-        """Re-register every dataset the manifest assigns to ``slot``."""
+    def replay_entry(
+        self, host: str, port: int, entry: "ManifestEntry"
+    ) -> Tuple[int, Optional[str]]:
+        """Replay one manifest entry onto a worker: seed, then events.
+
+        The seed registration goes first (``replace=True``, idempotent);
+        every recorded event batch follows in append order, so the
+        worker re-derives the exact epoch and point set that was being
+        served.  Returns ``(errors, last_error_message)`` — a failed
+        seed short-circuits (appending onto a missing dataset would
+        404), a failed batch does not (later batches are independent
+        points; replaying what can be replayed beats stopping).
+        Successfully replayed batches count into
+        :attr:`replayed_event_batches_total`.
+        """
+        payload = dict(entry.payload, replace=True)
+        try:
+            status, body = worker_request(
+                host, port, "POST", "/datasets", payload, timeout=120.0
+            )
+        except _REQUEST_ERRORS as exc:
+            status, body = 0, str(exc).encode()
+        if status != 201:
+            return 1, (
+                f"replay of dataset {entry.name!r} failed: "
+                f"HTTP {status} {body[:200]!r}"
+            )
         errors = 0
-        for entry in self.manifest.owned_by(slot):
-            payload = dict(entry.payload, replace=True)
+        last_error: Optional[str] = None
+        path = f"/datasets/{quote(entry.name, safe='')}/events"
+        for batch in entry.events:
             try:
                 status, body = worker_request(
-                    proc.host, proc.port, "POST", "/datasets", payload,
-                    timeout=120.0,
+                    host, port, "POST", path, timeout=120.0,
+                    raw_body=batch.encode("utf-8"),
                 )
             except _REQUEST_ERRORS as exc:
                 status, body = 0, str(exc).encode()
-            if status != 201:
+            if status != 200:
                 errors += 1
+                last_error = (
+                    f"event replay for dataset {entry.name!r} failed: "
+                    f"HTTP {status} {body[:200]!r}"
+                )
+            else:
                 with self._lock:
-                    self._states[slot].last_error = (
-                        f"replay of dataset {entry.name!r} failed: "
-                        f"HTTP {status} {body[:200]!r}"
-                    )
+                    self.replayed_event_batches_total += 1
+        return errors, last_error
+
+    def _replay(self, slot: str, proc: _WorkerProcess) -> int:
+        """Restore every dataset the manifest assigns to ``slot``."""
+        errors = 0
+        for entry in self.manifest.owned_by(slot):
+            entry_errors, last_error = self.replay_entry(
+                proc.host, proc.port, entry
+            )
+            if entry_errors:
+                errors += entry_errors
+                with self._lock:
+                    self._states[slot].last_error = last_error
         return errors
 
     # ------------------------------------------------------------------

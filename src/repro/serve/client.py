@@ -1,0 +1,103 @@
+"""Stdlib HTTP client plumbing for the serve/route front ends.
+
+Shared by the ``repro append`` CLI subcommand and the examples
+(``examples/serve_client.py``, ``examples/streaming_monitor.py``): one
+keep-alive :class:`http.client.HTTPConnection` carries JSON round
+trips and raw NDJSON bodies alike, against either a single ``repro
+serve`` process or the routing tier (the protocol is identical).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Optional, Tuple
+from urllib.parse import quote
+
+__all__ = [
+    "append_events",
+    "connect",
+    "events_path",
+    "probe",
+    "request",
+    "request_raw",
+]
+
+
+def probe(host: str, port: int, timeout: float = 2.0) -> None:
+    """One throwaway ``GET /health`` to see whether a server is up.
+
+    Raises :class:`OSError` when nothing is listening — callers decide
+    whether to boot an in-process server (the examples do) or fail
+    (the CLI does, with the error message).
+    """
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request("GET", "/health")
+        conn.getresponse().read()
+    finally:
+        conn.close()
+
+
+def connect(
+    host: str, port: int, timeout: float = 30.0
+) -> http.client.HTTPConnection:
+    """A keep-alive connection for a sequence of :func:`request` calls."""
+    return http.client.HTTPConnection(host, port, timeout=timeout)
+
+
+def request(
+    conn: http.client.HTTPConnection,
+    method: str,
+    path: str,
+    body: Optional[Any] = None,
+) -> Tuple[int, bytes]:
+    """One JSON request on a shared keep-alive connection."""
+    conn.request(
+        method,
+        path,
+        body=json.dumps(body) if body is not None else None,
+        headers={"Content-Type": "application/json"},
+    )
+    resp = conn.getresponse()
+    return resp.status, resp.read()
+
+
+def request_raw(
+    conn: http.client.HTTPConnection,
+    method: str,
+    path: str,
+    body: bytes,
+    content_type: str = "application/x-ndjson",
+) -> Tuple[int, bytes]:
+    """One raw-body request (NDJSON event batches are not JSON)."""
+    conn.request(method, path, body=body, headers={"Content-Type": content_type})
+    resp = conn.getresponse()
+    return resp.status, resp.read()
+
+
+def events_path(name: str) -> str:
+    """The ``POST`` path for a dataset's event endpoint.
+
+    Dataset names may hold spaces etc. (only ``/`` is banned), so the
+    name is percent-encoded, mirroring the server's ``unquote``.
+    """
+    return f"/datasets/{quote(name, safe='')}/events"
+
+
+def append_events(
+    conn: http.client.HTTPConnection, name: str, batch: bytes
+) -> Tuple[int, Any]:
+    """POST one NDJSON event batch; returns ``(status, parsed body)``.
+
+    On 200 the body is ``{"appended": {epoch, accepted, rejected, …}}``
+    (plus ``worker`` when a router answered); error answers come back
+    as whatever JSON the server produced, or ``{"error": <text>}`` for
+    an unparsable body.
+    """
+    status, raw = request_raw(conn, "POST", events_path(name), batch)
+    try:
+        doc = json.loads(raw) if raw else {}
+    except json.JSONDecodeError:
+        doc = {"error": raw.decode("utf-8", "replace")}
+    return status, doc

@@ -11,11 +11,15 @@ registry per process) drops in without touching the solvers.
 
 from __future__ import annotations
 
+import json
+import math
 import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, List, Mapping, Optional, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
 
 from ..backends import default_registry as default_backend_registry
 from ..datasets import workload_from_spec
@@ -40,6 +44,51 @@ DEFAULT_QUEUE_LIMIT = 64
 #: engine's library default — because a long-lived server must not grow
 #: without limit under a churning query mix.
 DEFAULT_MAX_ENTRIES = 32
+
+#: Rebuild-on-threshold bound for appends: when one accepted batch
+#: exceeds this fraction of the current point count, incremental index
+#: maintenance is skipped and every cached family is invalidated — at
+#: that scale a fresh build costs about the same as maintenance and the
+#: append call should not pay either inline.
+REBUILD_FRACTION = 0.5
+
+#: Cap on per-line error strings echoed back in an append report.
+MAX_EVENT_ERRORS = 8
+
+
+def _parse_event(doc: Any, dim: int) -> tuple:
+    """Validate one NDJSON event → ``(point, start, end)``.
+
+    The wire shape is ``{"point": [x1, …, xd], "start": s, "end": e}``;
+    a bare ``x`` is accepted for 1-d datasets.  Anything else raises
+    :class:`~repro.errors.ValidationError` with a line-sized message.
+    """
+    if not isinstance(doc, Mapping):
+        raise ValidationError(f"event must be an object, got {type(doc).__name__}")
+    try:
+        point = doc["point"]
+        start = doc["start"]
+        end = doc["end"]
+    except KeyError as exc:
+        raise ValidationError(f"event is missing {exc.args[0]!r}") from None
+    if isinstance(point, (int, float)) and not isinstance(point, bool):
+        point = [point]
+    if (
+        not isinstance(point, (list, tuple))
+        or len(point) != dim
+        or any(isinstance(c, bool) or not isinstance(c, (int, float)) for c in point)
+    ):
+        raise ValidationError(f"event point must be a list of {dim} numbers")
+    for label, value in (("start", start), ("end", end)):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValidationError(f"event {label!r} must be a number")
+    if not all(math.isfinite(float(c)) for c in (*point, start, end)):
+        raise ValidationError("event coordinates and lifespan must be finite")
+    if float(end) < float(start):
+        raise ValidationError(
+            f"event lifespan end ({end!r}) before start ({start!r})"
+        )
+    return [float(c) for c in point], float(start), float(end)
 
 
 class UnknownDatasetError(ReproError, KeyError):
@@ -130,6 +179,15 @@ class DatasetShard:
         #: queries each backend answered, how many builds it paid for,
         #: and the wall time spent building vs querying.
         self._backend_counters: Dict[str, Dict[str, Any]] = {}
+        #: Single-writer gate for appends: one epoch bump at a time, so
+        #: the ``tps`` swap plus cache advance is atomic w.r.t. other
+        #: appenders (readers snapshot ``self.tps`` at plan time and
+        #: are epoch-consistent by construction).
+        self._append_lock = threading.Lock()
+        self._events_accepted_total = 0
+        self._events_rejected_total = 0
+        self._append_batches_total = 0
+        self._append_seconds_total = 0.0
         self._closed = False
         #: Event hook set by :meth:`DatasetRegistry.bind_metrics`; called
         #: (outside the shard lock) for every finished query so latency
@@ -181,6 +239,113 @@ class DatasetShard:
         if observer is not None:
             observer(self.name, ok, backend, cache_hit, build_seconds, query_seconds)
 
+    # ------------------------------------------------------------------
+    def append_events(
+        self, events: Union[str, bytes, Sequence[Any]]
+    ) -> Dict[str, Any]:
+        """Append an event batch, bump the epoch, maintain the cache.
+
+        ``events`` is either raw NDJSON (``str``/``bytes``, one
+        ``{"point": […], "start": s, "end": e}`` object per line — the
+        ``POST /datasets/<name>/events`` body) or a sequence of parsed
+        event documents.  Malformed lines are *rejected individually*
+        and reported; accepted events become points ``n, n+1, …`` of
+        the next dataset version.
+
+        Single-writer semantics: one append at a time per shard.  On
+        success the shard's ``tps`` is swapped to the merged version
+        (epoch + 1) and the index cache is advanced — families whose
+        indexes support incremental maintenance (the paper's online
+        algorithms; currently durable triangles over the grid backend)
+        are migrated to the new epoch and keep hitting, the rest are
+        invalidated and rebuild on their next query.  Batches larger
+        than :data:`REBUILD_FRACTION` of the dataset skip maintenance
+        entirely (rebuild-on-threshold).  Either way, queries after the
+        append answer record-set-identically to a fresh registration of
+        the merged point set.
+        """
+        if isinstance(events, bytes):
+            events = events.decode("utf-8", "replace")
+        errors: List[str] = []
+        rejected = 0
+
+        def reject(lineno: int, message: str) -> None:
+            nonlocal rejected
+            rejected += 1
+            if len(errors) < MAX_EVENT_ERRORS:
+                errors.append(f"line {lineno}: {message}")
+
+        docs: List[tuple] = []
+        if isinstance(events, str):
+            parsed: List[Any] = []
+            for lineno, line in enumerate(events.splitlines(), start=1):
+                if not line.strip():
+                    continue
+                try:
+                    parsed.append((lineno, json.loads(line)))
+                except ValueError as exc:
+                    reject(lineno, f"invalid JSON: {exc}")
+        else:
+            parsed = list(enumerate(events, start=1))
+
+        with self._append_lock:
+            old = self.tps
+            for lineno, doc in parsed:
+                try:
+                    docs.append(_parse_event(doc, old.dim))
+                except ValidationError as exc:
+                    reject(lineno, str(exc))
+            t0 = time.perf_counter()
+            maintained_keys: List[Any] = []
+            invalidated_keys: List[Any] = []
+            if docs:
+                merged = old.with_events(
+                    np.asarray([d[0] for d in docs], dtype=float),
+                    np.asarray([d[1] for d in docs], dtype=float),
+                    np.asarray([d[2] for d in docs], dtype=float),
+                )
+                maintainer = None
+                if len(docs) <= REBUILD_FRACTION * old.n:
+
+                    def maintainer(key, index):
+                        maintain = getattr(index, "maintained", None)
+                        if maintain is None:
+                            return None
+                        try:
+                            return maintain(merged)
+                        except Exception:
+                            # Maintenance must never fail an append; a
+                            # dropped entry just rebuilds on next query.
+                            return None
+
+                moved = self.cache.advance(
+                    old.fingerprint(), merged.fingerprint(), maintainer
+                )
+                maintained_keys = moved["migrated"]
+                invalidated_keys = moved["invalidated"]
+                # The swap is the commit point: queries planned from
+                # here on see the new epoch and mint new cache keys.
+                self.tps = merged
+            append_seconds = time.perf_counter() - t0
+            current = self.tps
+            with self._lock:
+                self._append_batches_total += 1
+                self._events_accepted_total += len(docs)
+                self._events_rejected_total += rejected
+                self._append_seconds_total += append_seconds
+        return {
+            "name": self.name,
+            "epoch": current.epoch,
+            "fingerprint": current.fingerprint(),
+            "n": current.n,
+            "accepted": len(docs),
+            "rejected": rejected,
+            "errors": errors,
+            "maintained_families": sorted({k.family for k in maintained_keys}),
+            "invalidated_families": sorted({k.family for k in invalidated_keys}),
+            "append_seconds": append_seconds,
+        }
+
     def describe(self) -> Dict[str, Any]:
         """JSON-ready dataset identity (the ``POST /datasets`` reply)."""
         return {
@@ -189,6 +354,7 @@ class DatasetShard:
             "dim": self.tps.dim,
             "metric": self.tps.metric.name,
             "fingerprint": self.tps.fingerprint(),
+            "epoch": self.tps.epoch,
             "default_backend": self.default_backend,
         }
 
@@ -209,6 +375,12 @@ class DatasetShard:
                 name: dict(counters)
                 for name, counters in self._backend_counters.items()
             }
+            events = {
+                "accepted_total": self._events_accepted_total,
+                "rejected_total": self._events_rejected_total,
+                "batches_total": self._append_batches_total,
+                "append_seconds_total": self._append_seconds_total,
+            }
         tenants = self.admission.tenant_snapshot()
         out = {
             "dataset": self.describe(),
@@ -221,6 +393,7 @@ class DatasetShard:
             "queries_total": queries_total,
             "errors_total": errors_total,
             "backends": backends,
+            "events": events,
             "uptime_seconds": time.monotonic() - self.created_monotonic,
         }
         if tenants:
@@ -434,6 +607,41 @@ class DatasetRegistry:
             "serve_admission_rejected_total", "counter",
             "Query slots denied at admission (any bound).",
             per_shard(lambda s: s.admission.rejected),
+        )
+        metrics.callback(
+            "serve_dataset_epoch", "gauge",
+            "Dataset version: event batches appended since registration.",
+            per_shard(lambda s: s.tps.epoch),
+        )
+        metrics.callback(
+            "serve_events_appended_total", "counter",
+            "Events accepted into the dataset by appends.",
+            per_shard(lambda s: s._events_accepted_total),
+        )
+        metrics.callback(
+            "serve_events_rejected_total", "counter",
+            "Event lines rejected by append validation.",
+            per_shard(lambda s: s._events_rejected_total),
+        )
+        metrics.callback(
+            "serve_append_batches_total", "counter",
+            "Append requests processed (including all-rejected ones).",
+            per_shard(lambda s: s._append_batches_total),
+        )
+        metrics.callback(
+            "serve_append_seconds_total", "counter",
+            "Wall seconds spent merging appends and maintaining indexes.",
+            per_shard(lambda s: s._append_seconds_total),
+        )
+        metrics.callback(
+            "serve_cache_migrated_total", "counter",
+            "Indexes carried across an epoch bump by incremental maintenance.",
+            per_shard(lambda s: s.cache.stats.migrated),
+        )
+        metrics.callback(
+            "serve_cache_invalidated_total", "counter",
+            "Indexes invalidated by an epoch bump (rebuild on next query).",
+            per_shard(lambda s: s.cache.stats.invalidated),
         )
 
         def backend_samples(field):

@@ -625,11 +625,18 @@ class ServeApp(AsyncApp):
         elif route == ("POST", "/datasets"):
             await self._handle_register(request, writer, state)
         elif request.path.startswith("/datasets/") and len(request.path) > 10:
-            if request.method != "DELETE":
+            if request.path.endswith("/events"):
+                if request.method != "POST":
+                    raise ProtocolError(
+                        405, f"{request.method} not allowed on {request.path}"
+                    )
+                await self._handle_append(request, writer, state)
+            elif request.method != "DELETE":
                 raise ProtocolError(
                     405, f"{request.method} not allowed on {request.path}"
                 )
-            await self._handle_unregister(request, writer, state)
+            else:
+                await self._handle_unregister(request, writer, state)
         elif route == ("POST", "/query"):
             await self._handle_query(request, writer, state)
         elif route == ("POST", "/shutdown"):
@@ -649,6 +656,8 @@ class ServeApp(AsyncApp):
         ):
             return request.path
         if request.path.startswith("/datasets/"):
+            if request.path.endswith("/events"):
+                return "/datasets/{name}/events"
             return "/datasets/{name}"
         return "other"
 
@@ -703,6 +712,34 @@ class ServeApp(AsyncApp):
         # Raises UnknownDatasetError -> the connection loop answers 404.
         shard = await loop.run_in_executor(None, self.registry.remove, name)
         await self._respond(writer, state, 200, {"removed": shard.describe()})
+
+    async def _handle_append(
+        self, request: Request, writer: asyncio.StreamWriter, state: ConnectionState
+    ) -> None:
+        """``POST /datasets/<name>/events`` — append an NDJSON event batch.
+
+        The body is one event per line (``{"point": ..., "start": ...,
+        "end": ...}``).  Appends are single-writer per shard
+        (:meth:`~repro.serve.registry.DatasetShard.append_events` holds
+        the shard's append lock) and bump the dataset epoch; the
+        response reports the new epoch plus accepted/rejected counts.
+        Parsing and index maintenance are CPU work, so they run off the
+        event loop like registration does.
+        """
+        name = unquote(
+            request.path[len("/datasets/"): -len("/events")]
+        )
+        if not name:
+            raise ProtocolError(404, "no route for '/datasets//events'")
+        if not request.body:
+            raise ProtocolError(400, "event batch body must not be empty")
+        # Raises UnknownDatasetError -> the connection loop answers 404.
+        shard = self.registry.get(name)
+        loop = asyncio.get_running_loop()
+        report = await loop.run_in_executor(
+            None, shard.append_events, request.body
+        )
+        await self._respond(writer, state, 200, {"appended": report})
 
     async def _handle_query(
         self, request: Request, writer: asyncio.StreamWriter, state: ConnectionState

@@ -36,9 +36,19 @@ class TemporalPointSet:
     The proximity graph ``G_φ(P)`` connects two points at metric distance
     at most ``1`` — as in the paper we normalise the distance threshold
     ``r`` to 1; rescale coordinates by ``1/r`` to use other thresholds.
+
+    A point set is a *version* of a dataset: ``epoch`` counts how many
+    event batches have been appended since the seed registration
+    (``epoch=0``).  :meth:`with_events` produces the next version; the
+    arrays of any one version stay immutable, so every epoch has a
+    stable :meth:`fingerprint` and cached indexes keyed on an older
+    epoch remain internally consistent.
     """
 
-    __slots__ = ("points", "starts", "ends", "metric", "_start_keys", "_fingerprint")
+    __slots__ = (
+        "points", "starts", "ends", "metric", "epoch",
+        "_start_keys", "_fingerprint",
+    )
 
     def __init__(
         self,
@@ -46,6 +56,7 @@ class TemporalPointSet:
         starts: Union[np.ndarray, Sequence[float]],
         ends: Union[np.ndarray, Sequence[float]],
         metric: MetricSpec = "l2",
+        epoch: int = 0,
     ) -> None:
         pts = np.asarray(points, dtype=float)
         if pts.ndim == 1:
@@ -67,10 +78,13 @@ class TemporalPointSet:
             )
         if not (np.all(np.isfinite(pts)) and np.all(np.isfinite(s)) and np.all(np.isfinite(e))):
             raise ValidationError("points and lifespans must be finite")
+        if not isinstance(epoch, int) or isinstance(epoch, bool) or epoch < 0:
+            raise ValidationError(f"epoch must be a non-negative int, got {epoch!r}")
         self.points = pts
         self.starts = s
         self.ends = e
         self.metric = get_metric(metric)
+        self.epoch = epoch
         self._start_keys: Optional[List[Tuple[float, int]]] = None
         self._fingerprint: Optional[str] = None
 
@@ -113,13 +127,17 @@ class TemporalPointSet:
         return intersect_many(self.lifespan(i) for i in members)
 
     def fingerprint(self) -> str:
-        """Content hash identifying this dataset for index-cache keys.
+        """Epoch-bearing content hash identifying this dataset version.
 
         Hashes the coordinate and lifespan arrays plus the metric's
         :meth:`~repro.geometry.metrics.Metric.cache_token`, so two point
         sets with equal contents and metric share every cached index.
-        Computed once and memoised (the arrays are treated as immutable,
-        as everywhere else in the library).
+        For appended versions (``epoch > 0``) the epoch is folded into
+        the hash, making every version of a mutable dataset a distinct
+        cache identity; an epoch-0 fingerprint is byte-identical to the
+        pre-versioning content hash.  Computed once and memoised (the
+        arrays of one version are treated as immutable, as everywhere
+        else in the library).
         """
         if self._fingerprint is None:
             h = hashlib.blake2b(digest_size=16)
@@ -128,8 +146,49 @@ class TemporalPointSet:
             h.update(np.ascontiguousarray(self.starts).tobytes())
             h.update(np.ascontiguousarray(self.ends).tobytes())
             h.update(self.metric.cache_token().encode())
+            if self.epoch:
+                h.update(b"|epoch:%d" % self.epoch)
             self._fingerprint = h.hexdigest()
         return self._fingerprint
+
+    def with_events(
+        self,
+        points: Union[np.ndarray, Sequence[Sequence[float]]],
+        starts: Union[np.ndarray, Sequence[float]],
+        ends: Union[np.ndarray, Sequence[float]],
+    ) -> "TemporalPointSet":
+        """The next version of this dataset: current points plus a batch.
+
+        Appended points keep arrival order and take ids ``n, n+1, …`` —
+        the merged arrays are exactly what registering the union from
+        scratch would hold, so indexes built over the result answer
+        queries identically to a fresh registration.  The new version
+        carries ``epoch + 1``; this instance is untouched.
+        """
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim == 1:
+            pts = pts[:, None]
+        if pts.ndim != 2 or len(pts) == 0:
+            raise ValidationError("event batch must be a non-empty (k, d) array")
+        if pts.shape[1] != self.dim:
+            raise ValidationError(
+                f"event batch dimension ({pts.shape[1]}) does not match "
+                f"the dataset ({self.dim})"
+            )
+        s = np.asarray(starts, dtype=float).ravel()
+        e = np.asarray(ends, dtype=float).ravel()
+        if len(s) != len(pts) or len(e) != len(pts):
+            raise ValidationError(
+                f"event lifespan arrays ({len(s)}, {len(e)}) do not match "
+                f"batch size ({len(pts)})"
+            )
+        return TemporalPointSet(
+            np.concatenate([self.points, pts]),
+            np.concatenate([self.starts, s]),
+            np.concatenate([self.ends, e]),
+            self.metric,
+            epoch=self.epoch + 1,
+        )
 
     def subset(self, ids: Sequence[int]) -> "TemporalPointSet":
         """A new point set restricted to ``ids`` (ids are re-numbered)."""
@@ -139,9 +198,10 @@ class TemporalPointSet:
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        epoch = f", epoch={self.epoch}" if self.epoch else ""
         return (
             f"TemporalPointSet(n={self.n}, dim={self.dim}, "
-            f"metric={self.metric.name!r})"
+            f"metric={self.metric.name!r}{epoch})"
         )
 
 
