@@ -139,6 +139,22 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_str)
     p_str.add_argument("--tau", type=float, required=True)
 
+    p_qry = sub.add_parser(
+        "query",
+        help="run one declarative pattern query (the pattern-dsl kind)",
+    )
+    common(p_qry)
+    p_qry.add_argument(
+        "--pattern", required=True,
+        help="pattern in text form, e.g. "
+             "\"seq(pairs(agg=sum), triangles(), gap=[0,5])\", "
+             "or as a compact-JSON object (docs/query_language.md)",
+    )
+    p_qry.add_argument(
+        "--tau", type=float, action="append", required=True,
+        help="durability τ (repeat the flag for a τ-sweep)",
+    )
+
     p_bat = sub.add_parser(
         "batch",
         help="run a JSON/YAML file of queries through the shared-index engine",
@@ -306,8 +322,14 @@ def _run_batch(args: argparse.Namespace, out) -> int:
     # rule shared with the serving layer via apply_default_backend.
     doc["queries"] = apply_default_backend(doc["queries"], args.backend)
     # Validate the query specs before materialising any dataset, so a
-    # typo in the file fails fast.
-    specs = [QuerySpec.from_dict(q) for q in doc["queries"]]
+    # typo in the file fails fast — naming the offending entry, which
+    # matters in long files of declarative patterns.
+    specs = []
+    for i, q in enumerate(doc["queries"]):
+        try:
+            specs.append(QuerySpec.from_dict(q))
+        except ValidationError as exc:
+            raise ValidationError(f"query #{i}: {exc}") from exc
     if "dataset" in doc:
         tps = workload_from_spec(doc["dataset"])
     else:
@@ -709,6 +731,25 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
             print(f"(τ,κ)-UNION-durable pairs: {len(recs)}", file=out)
             for r in sorted(recs, key=lambda r: -r.score)[: args.top]:
                 print(f"  ({r.p}, {r.q})  covered {r.score:.2f}", file=out)
+
+        elif args.command == "query":
+            spec = QuerySpec(
+                kind="pattern-dsl", taus=tuple(args.tau),
+                epsilon=args.epsilon, backend=args.backend,
+                pattern=args.pattern,
+            )
+            recs = _run_one_shot(spec, tps, out).records
+            print(f"pattern matches: {len(recs)}", file=out)
+
+            def _rank(r):
+                return -getattr(r, "durability", getattr(r, "score", 0.0))
+
+            for r in sorted(recs, key=_rank)[: args.top]:
+                members = getattr(r, "members", None) or getattr(r, "ids", None)
+                if members is None:
+                    members = (r.p, r.q)
+                value = getattr(r, "durability", getattr(r, "score", 0.0))
+                print(f"  {tuple(members)}  durability {value:.2f}", file=out)
 
         elif args.command == "stream":
             stream = DynamicTriangleStream(

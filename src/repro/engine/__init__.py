@@ -4,12 +4,18 @@ One preprocessing pass over a temporal proximity graph supports many
 durable-pattern reports; this package makes that operational:
 
 * :class:`~repro.engine.spec.QuerySpec` — declarative query description
-  (kind, τ or τ-sweep, κ, m, ε, metric-backend);
+  (kind, τ or τ-sweep, κ, m, ε, metric-backend, or a ``pattern-dsl``
+  payload compiled by :mod:`repro.lang`);
+* :class:`~repro.engine.templates.PlanTemplate` — the open registry
+  behind ``kind``: legacy kinds and the DSL compiler are built-in
+  templates, :func:`register_template` adds new pattern shapes without
+  touching spec/planner/serve/CLI;
 * :class:`~repro.engine.cache.IndexCache` — single-flight shared-index
-  cache keyed by ``(family, dataset fingerprint, ε, backend)``;
+  cache keyed by ``(family, dataset fingerprint, ε, backend)``; staged
+  ``pattern-dsl`` plans share sub-indexes with legacy queries here;
 * :class:`~repro.engine.engine.QueryEngine` — plans batches, shares
   indexes, executes independent queries on a thread pool, and reports
-  per-query timing plus cache statistics.
+  per-query (and per-stage) timing plus cache statistics.
 
 ``repro.api``, ``python -m repro batch`` and ``benchmarks/helpers.py``
 are all thin layers over this package.
@@ -18,9 +24,16 @@ are all thin layers over this package.
 from .cache import CacheOutcome, CacheStats, IndexCache, IndexKey
 from .engine import QueryEngine
 from .executor import execute_plan, execute_plans
-from .planner import QueryPlan, distinct_index_keys, plan_batch, plan_query
+from .planner import (
+    PlanStage,
+    QueryPlan,
+    distinct_index_keys,
+    plan_batch,
+    plan_query,
+)
 from .results import BatchResult, QueryResult, record_to_dict
 from .spec import KINDS, QuerySpec
+from .templates import PlanTemplate, register_template, template_names
 
 __all__ = [
     "KINDS",
@@ -29,12 +42,16 @@ __all__ = [
     "IndexCache",
     "CacheOutcome",
     "CacheStats",
+    "PlanStage",
+    "PlanTemplate",
     "QueryPlan",
     "plan_query",
     "plan_batch",
     "distinct_index_keys",
     "execute_plan",
     "execute_plans",
+    "register_template",
+    "template_names",
     "QueryEngine",
     "QueryResult",
     "BatchResult",

@@ -51,14 +51,50 @@ def _execute_one(
     Returns ``(result, exception)`` — the exception object is kept
     alongside the error result so ``raise_on_error=True`` callers can
     re-raise the original, not a stringified stand-in.
+
+    Stage-less plans (the legacy kinds) fetch/build ``plan.key`` and
+    call ``runner(index, tau)``.  Staged plans (``pattern-dsl``)
+    acquire every :class:`~repro.engine.planner.PlanStage` through the
+    same single-flight cache — per-stage build timing lands on the
+    result's ``stages`` — and call ``runner({name: index}, tau)``.
     """
     t0 = time.perf_counter()
     try:
-        outcome = cache.get_or_build(plan.key, plan.builder)
+        stage_timings: Tuple[Any, ...] = ()
+        if plan.stages:
+            indexes = {}
+            cache_hit = True
+            build_seconds = 0.0
+            timings = []
+            for stage in plan.stages:
+                outcome = cache.get_or_build(stage.key, stage.builder)
+                indexes[stage.name] = outcome.index
+                stage_build = 0.0 if outcome.hit else outcome.build_seconds
+                build_seconds += stage_build
+                cache_hit = cache_hit and outcome.hit
+                timings.append(
+                    {
+                        "stage": stage.name,
+                        "family": stage.key.family,
+                        "backend": stage.key.backend,
+                        "cache_hit": outcome.hit,
+                        "build_seconds": stage_build,
+                    }
+                )
+            stage_timings = tuple(timings)
+            target: Any = indexes
+        else:
+            outcome = cache.get_or_build(plan.key, plan.builder)
+            cache_hit = outcome.hit
+            # The outcome carries its flight's own build time, so this
+            # stays correct even if the entry was LRU-evicted by a later
+            # build before we got here.
+            build_seconds = 0.0 if outcome.hit else outcome.build_seconds
+            target = outcome.index
         records_by_tau: "OrderedDict[float, List[Any]]" = OrderedDict()
         t_query = time.perf_counter()
         for tau in plan.spec.taus:
-            records_by_tau[tau] = plan.runner(outcome.index, tau)
+            records_by_tau[tau] = plan.runner(target, tau)
         query_seconds = time.perf_counter() - t_query
     except Exception as exc:
         return (
@@ -78,12 +114,10 @@ def _execute_one(
             spec=plan.spec,
             key=plan.key,
             records_by_tau=records_by_tau,
-            cache_hit=outcome.hit,
-            # The outcome carries its flight's own build time, so this
-            # stays correct even if the entry was LRU-evicted by a later
-            # build before we got here.
-            build_seconds=0.0 if outcome.hit else outcome.build_seconds,
+            cache_hit=cache_hit,
+            build_seconds=build_seconds,
             query_seconds=query_seconds,
+            stages=stage_timings,
         ),
         None,
     )

@@ -1,65 +1,90 @@
-"""Query planning: map specs onto index families and cache keys.
+"""Query planning: map specs onto executable plans over shared indexes.
 
 ``plan_batch`` turns ``(TemporalPointSet, [QuerySpec, …])`` into
-:class:`QueryPlan` objects carrying everything the executor needs: the
-:class:`~repro.engine.cache.IndexKey` under which the preprocessing
-pass may be shared, a builder closure, and a per-τ runner.  Planning is
-pure — no index is built here — so a plan can also be inspected to
-predict how many distinct builds a batch will trigger
+:class:`QueryPlan` objects carrying everything the executor needs.
+Planning is pure — no index is built here — so a plan can also be
+inspected to predict how many distinct builds a batch will trigger
 (:func:`distinct_index_keys`).
 
-Backend dispatch goes through the registry
-(:mod:`repro.backends`) rather than the if/elif chains of earlier
-revisions: :meth:`~repro.backends.registry.BackendRegistry.resolve`
-validates the kind/backend/metric combination, resolves
-``backend="auto"`` through the cost model (exact ℓ∞ promotion
-included), and the chosen descriptor's hooks emit the cache key and
-builder.  For every pre-existing explicit backend name the emitted
-:class:`~repro.engine.cache.IndexKey` is bit-identical to the
-historical planner's, so caches populated before the registry existed
-stay valid (asserted by ``tests/test_backends.py``).
+Dispatch is two-layered:
 
-Validation rules the registry enforces (superset of the ISSUE 1 fix):
+* the spec's ``kind`` selects a :class:`~repro.engine.templates.PlanTemplate`
+  from the template registry (:mod:`repro.engine.templates`) — the four
+  legacy index families and the ``pattern-dsl`` compiler are built-in,
+  and :func:`~repro.engine.templates.register_template` opens the set;
+* inside the built-in templates, backend dispatch goes through the
+  backend registry (:mod:`repro.backends`):
+  :meth:`~repro.backends.registry.BackendRegistry.resolve` validates
+  the kind/backend/metric combination, resolves ``backend="auto"``
+  through the cost model (exact ℓ∞ promotion included), and the chosen
+  descriptor's hooks emit the cache key and builder.  For every
+  pre-existing explicit backend name the emitted
+  :class:`~repro.engine.cache.IndexKey` is bit-identical to the
+  historical planner's, so caches populated before either registry
+  existed stay valid (asserted by ``tests/test_backends.py``).
 
-* ``triangles`` with ``backend="linf-exact"`` or ``exact=True``
-  **requires** the ℓ∞ metric and raises
-  :class:`~repro.errors.ValidationError` otherwise;
-* ``triangles`` with ``backend="auto"`` on an ℓ∞ input is promoted to
-  the exact solver unless ``exact=False``;
-* pair and pattern kinds reject ``backend="linf-exact"`` outright,
-  naming the backends that do serve them (they used to coerce it to
-  ``auto`` silently);
-* an explicit backend whose metric predicate rejects the dataset's
-  metric (e.g. ``grid`` under an opaque function metric) fails at plan
-  time, naming the usable alternatives.
+A plan comes in two shapes, told apart by ``stages``:
+
+* **stage-less** (the legacy kinds): the executor builds/fetches
+  ``plan.key`` and calls ``runner(index, tau)``;
+* **staged** (``pattern-dsl`` and future composite templates): each
+  :class:`PlanStage` names one shared index; the executor acquires all
+  of them through the same single-flight cache — so a composite plan's
+  sub-indexes are shared with any legacy query that uses them — and
+  calls ``runner({stage_name: index, …}, tau)``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-from ..backends.registry import BackendRegistry, default_registry
+from ..backends.registry import BackendRegistry
 from ..errors import ValidationError
 from ..types import TemporalPointSet
 from .cache import IndexKey
 from .spec import PATTERN_KINDS, QuerySpec
 
-__all__ = ["QueryPlan", "plan_query", "plan_batch", "distinct_index_keys"]
+__all__ = [
+    "PlanStage",
+    "QueryPlan",
+    "plan_query",
+    "plan_batch",
+    "distinct_index_keys",
+    "runner_for",
+]
+
+
+@dataclass(frozen=True)
+class PlanStage:
+    """One shared index a staged plan depends on."""
+
+    name: str
+    key: IndexKey
+    builder: Callable[[], Any]
 
 
 @dataclass(frozen=True)
 class QueryPlan:
-    """One executable query: spec + shared-index identity + callables."""
+    """One executable query: spec + shared-index identity + callables.
+
+    The first five fields are the historical positional layout —
+    downstream code (and tests) construct plans positionally, so new
+    fields append with defaults.  For stage-less plans ``runner`` takes
+    ``(index, tau)``; for staged plans it takes
+    ``({stage_name: index}, tau)``.
+    """
 
     order: int
     spec: QuerySpec
     key: IndexKey
     builder: Callable[[], Any]
     runner: Callable[[Any, float], list]
+    template: str = field(default="")
+    stages: Tuple[PlanStage, ...] = field(default=())
 
 
-def _runner_for(spec: QuerySpec) -> Callable[[Any, float], list]:
+def runner_for(spec: QuerySpec) -> Callable[[Any, float], list]:
     """The per-τ report call — kind-specific, backend-agnostic.
 
     Every backend serving a kind exposes the same query surface
@@ -81,6 +106,10 @@ def _runner_for(spec: QuerySpec) -> Callable[[Any, float], list]:
     return lambda index, tau: index.query(tau)
 
 
+#: Historical private name (bench_backends imports it).
+_runner_for = runner_for
+
+
 def plan_query(
     order: int,
     spec: QuerySpec,
@@ -89,20 +118,16 @@ def plan_query(
 ) -> QueryPlan:
     """Resolve one spec against a dataset (validates, never builds).
 
-    ``registry`` defaults to the process-wide
-    :func:`~repro.backends.registry.default_registry`; passing another
-    instance scopes dispatch (and any custom backends or recalibrated
-    cost model) to this call.
+    Dispatches to the spec's plan template; ``registry`` (defaulting to
+    the process-wide backend registry) scopes backend dispatch — and
+    any custom backends or recalibrated cost model — to this call.
     """
-    reg = registry if registry is not None else default_registry()
-    descriptor = reg.resolve(spec, tps).descriptor
-    return QueryPlan(
-        order=order,
-        spec=spec,
-        key=descriptor.index_identity(spec, tps.fingerprint()),
-        builder=descriptor.make_builder(spec, tps),
-        runner=_runner_for(spec),
-    )
+    # Imported lazily: the template registry imports this module for
+    # QueryPlan/PlanStage, so the dependency must not be circular at
+    # import time.
+    from .templates import get_template
+
+    return get_template(spec.kind).plan(order, spec, tps, registry)
 
 
 def plan_batch(
@@ -125,8 +150,16 @@ def plan_batch(
 
 
 def distinct_index_keys(plans: Sequence[QueryPlan]) -> Tuple[IndexKey, ...]:
-    """The distinct indexes a batch will build (in first-use order)."""
+    """The distinct indexes a batch will build (in first-use order).
+
+    Staged plans contribute their stage keys — the composite plan key
+    of a ``pattern-dsl`` query is a reporting identity, not a build.
+    """
     seen: dict = {}
     for plan in plans:
-        seen.setdefault(plan.key, None)
+        if plan.stages:
+            for stage in plan.stages:
+                seen.setdefault(stage.key, None)
+        else:
+            seen.setdefault(plan.key, None)
     return tuple(seen)

@@ -22,6 +22,19 @@ __all__ = ["QueryResult", "BatchResult", "record_to_dict"]
 
 def record_to_dict(record: Any) -> Dict[str, Any]:
     """Serialise one reported pattern record to plain JSON types."""
+    # Imported here: the engine package must not hard-depend on the
+    # language package at import time.
+    from ..lang.records import ComposedRecord
+
+    if isinstance(record, ComposedRecord):
+        return {
+            "type": "composed",
+            "template": record.template,
+            "members": list(record.members),
+            "components": [record_to_dict(c) for c in record.components],
+            "lifespan": [record.lifespan.start, record.lifespan.end],
+            "durability": record.durability,
+        }
     if isinstance(record, TriangleRecord):
         return {
             "type": "triangle",
@@ -59,6 +72,9 @@ class QueryResult:
     build_seconds: float
     query_seconds: float
     error: Optional[str] = field(default=None)
+    #: Per-stage acquisition timings of a staged (``pattern-dsl``) plan;
+    #: empty for the legacy stage-less kinds.
+    stages: Tuple[Mapping[str, Any], ...] = field(default=())
 
     @property
     def ok(self) -> bool:
@@ -86,7 +102,7 @@ class QueryResult:
             if include_records:
                 entry["records"] = [record_to_dict(r) for r in recs]
             sweeps.append(entry)
-        return {
+        out = {
             "spec": self.spec.to_dict(),
             "index": {
                 "family": self.key.family,
@@ -101,6 +117,9 @@ class QueryResult:
             "query_seconds": self.query_seconds,
             "results": sweeps,
         }
+        if self.stages:
+            out["stages"] = [dict(s) for s in self.stages]
+        return out
 
 
 @dataclass(frozen=True)

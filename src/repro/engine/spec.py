@@ -15,7 +15,7 @@ format of ``python -m repro batch``).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, fields
+from dataclasses import MISSING, dataclass, field, fields
 from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
 
 import numpy as np
@@ -38,7 +38,10 @@ def _as_float(value: Any, what: str) -> float:
     except (TypeError, ValueError) as exc:
         raise ValidationError(f"{what} must be a number, got {value!r}") from exc
 
-#: Pattern kinds the engine can execute.
+#: The built-in legacy query kinds — each is a registered plan template
+#: (:mod:`repro.engine.templates`); the full kind set a spec accepts is
+#: the template registry's, which additionally holds ``"pattern-dsl"``
+#: and anything installed via ``register_template``.
 KINDS = (
     "triangles",
     "cliques",
@@ -50,6 +53,20 @@ KINDS = (
 
 #: Kinds served by the shared :class:`~repro.core.patterns.PatternIndex`.
 PATTERN_KINDS = ("cliques", "paths", "stars")
+
+#: The declarative-pattern kind compiled by :mod:`repro.lang`.
+DSL_KIND = "pattern-dsl"
+
+
+def _registered_kinds() -> Tuple[str, ...]:
+    """Every kind the template registry currently accepts.
+
+    Imported lazily: the template registry imports this module for
+    :data:`KINDS`, so validation consults it at call time only.
+    """
+    from .templates import template_names
+
+    return template_names()
 
 def known_backends() -> Tuple[str, ...]:
     """``'auto'`` plus every backend registered right now.
@@ -143,6 +160,11 @@ class QuerySpec:
         inputs, ``None`` keeps the promotion rules of ``repro.api``.
     label:
         Free-form tag echoed into results (useful in batch files).
+    pattern:
+        Declarative pattern payload for ``kind="pattern-dsl"`` — a
+        compact-JSON mapping, a text-form string, or a parsed
+        :class:`~repro.lang.ast.PatternNode`; normalised to the AST
+        root (hashable) at construction.  Rejected on every other kind.
     """
 
     kind: str
@@ -154,12 +176,14 @@ class QuerySpec:
     sum_backend: str = "profile"
     exact: Optional[bool] = None
     label: Optional[str] = None
+    pattern: Optional[Any] = None
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
-        if self.kind not in KINDS:
+        if self.kind not in _registered_kinds():
             raise ValidationError(
-                f"unknown query kind {self.kind!r}; expected one of {', '.join(KINDS)}"
+                f"unknown query kind {self.kind!r}; "
+                f"expected one of {', '.join(_registered_kinds())}"
             )
         object.__setattr__(self, "taus", self._normalise_taus(self.taus))
         object.__setattr__(self, "epsilon", _as_float(self.epsilon, "epsilon"))
@@ -167,16 +191,29 @@ class QuerySpec:
             raise ValidationError(
                 f"epsilon must lie in (0, 1], got {self.epsilon!r}"
             )
-        # Registry-backed: rejects unknown names AND kind/backend combos
-        # no descriptor serves (e.g. pairs/pattern kinds under the
-        # triangle-only 'linf-exact' — previously coerced to 'auto').
-        default_registry().validate_combination(self.kind, self.backend)
+        if self.kind == DSL_KIND or self.kind not in KINDS:
+            # DSL and custom-template kinds: the backend name must be
+            # registered (or 'auto'); kind/backend serving is checked
+            # per lowered primitive at plan time.
+            names = default_registry().names()
+            if self.backend != "auto" and self.backend not in names:
+                raise ValidationError(
+                    f"unknown backend {self.backend!r}; "
+                    f"registered backends: {', '.join(names)}"
+                )
+        else:
+            # Registry-backed: rejects unknown names AND kind/backend
+            # combos no descriptor serves (e.g. pairs/pattern kinds
+            # under the triangle-only 'linf-exact' — previously coerced
+            # to 'auto').
+            default_registry().validate_combination(self.kind, self.backend)
         if self.sum_backend not in _SUM_BACKENDS:
             raise ValidationError(
                 f"unknown sum backend {self.sum_backend!r}; "
                 f"expected one of {', '.join(_SUM_BACKENDS)}"
             )
         self._validate_kind_params()
+        self._validate_pattern()
 
     @staticmethod
     def _normalise_taus(taus: TauInput) -> Tuple[float, ...]:
@@ -225,6 +262,23 @@ class QuerySpec:
                 "exact=False contradicts backend='linf-exact'"
             )
 
+    def _validate_pattern(self) -> None:
+        if self.kind != DSL_KIND:
+            if self.pattern is not None:
+                raise ValidationError(
+                    "pattern is only valid for pattern-dsl queries"
+                )
+            return
+        if self.pattern is None:
+            raise ValidationError(
+                "pattern-dsl queries require a 'pattern' payload"
+            )
+        # Imported lazily (the engine package must not hard-depend on
+        # the language package at import time).
+        from ..lang.parser import parse_pattern
+
+        object.__setattr__(self, "pattern", parse_pattern(self.pattern))
+
     # ------------------------------------------------------------------
     @property
     def tau(self) -> float:
@@ -241,20 +295,25 @@ class QuerySpec:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        """JSON-ready representation (inverse of :meth:`from_dict`).
+
+        Walks the dataclass fields instead of a hand-maintained list, so
+        *every* optional field — present and future — round-trips: a
+        field is emitted whenever it differs from its declared default
+        (serve forwarding must never silently re-default a parameter).
+        """
         out: Dict[str, Any] = {"kind": self.kind, "taus": list(self.taus)}
-        for name, default in (
-            ("epsilon", 0.5),
-            ("backend", "auto"),
-            ("kappa", None),
-            ("m", None),
-            ("sum_backend", "profile"),
-            ("exact", None),
-            ("label", None),
-        ):
-            value = getattr(self, name)
+        for spec_field in fields(self):
+            if spec_field.name in ("kind", "taus"):
+                continue
+            value = getattr(self, spec_field.name)
+            default = (
+                spec_field.default if spec_field.default is not MISSING else None
+            )
             if value != default:
-                out[name] = value
+                if spec_field.name == "pattern":
+                    value = value.to_json()
+                out[spec_field.name] = value
         return out
 
     @classmethod

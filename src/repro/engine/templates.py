@@ -1,0 +1,147 @@
+"""Plan templates: the open registry behind ``QuerySpec.kind``.
+
+Historically the planner dispatched on a closed ``KINDS`` enum — every
+new pattern shape meant editing spec, planner, executor, serve, router
+and CLI.  This module turns the kind column into a registry of
+:class:`PlanTemplate` objects: a template owns the mapping from a spec
+to an executable :class:`~repro.engine.planner.QueryPlan`, and every
+layer above the planner is template-agnostic.
+
+The paper's four index families arrive as built-in templates (one per
+legacy kind, so ``KINDS`` keeps meaning what it always meant) whose
+plan functions go through the backend-registry descriptor hooks —
+their emitted :class:`~repro.engine.cache.IndexKey` values are
+bit-identical to the pre-registry planner's, so caches survive the
+refactor (asserted by ``tests/test_backends.py::TestKeyStability``).
+The ``pattern-dsl`` template compiles :mod:`repro.lang` patterns onto
+staged plans over the same keys.
+
+Registering a new pattern shape is now a local edit::
+
+    from repro.engine import PlanTemplate, register_template
+
+    register_template(PlanTemplate(
+        name="my-shape",
+        plan=my_plan_function,          # (order, spec, tps, registry) -> QueryPlan
+        description="what it reports",
+    ))
+
+after which ``QuerySpec(kind="my-shape", ...)`` validates and executes
+everywhere — engine, batch CLI, serve and router included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..errors import ValidationError
+from .spec import KINDS
+
+__all__ = [
+    "PlanTemplate",
+    "register_template",
+    "get_template",
+    "template_names",
+]
+
+#: (order, spec, tps, registry) -> QueryPlan
+PlanFn = Callable[[int, Any, Any, Any], Any]
+
+
+@dataclass(frozen=True)
+class PlanTemplate:
+    """One registered query kind: a name plus its plan function."""
+
+    name: str
+    plan: PlanFn
+    description: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValidationError(
+                f"template name must be a non-empty string, got {self.name!r}"
+            )
+
+
+_TEMPLATES: Dict[str, PlanTemplate] = {}
+
+
+def register_template(template: PlanTemplate, replace: bool = False) -> PlanTemplate:
+    """Install a template; ``QuerySpec`` accepts its name immediately."""
+    if template.name in _TEMPLATES and not replace:
+        raise ValidationError(
+            f"template {template.name!r} is already registered; "
+            "pass replace=True to overwrite"
+        )
+    _TEMPLATES[template.name] = template
+    return template
+
+
+def get_template(name: str) -> PlanTemplate:
+    template = _TEMPLATES.get(name)
+    if template is None:
+        raise ValidationError(
+            f"unknown query kind {name!r}; "
+            f"expected one of {', '.join(_TEMPLATES)}"
+        )
+    return template
+
+
+def template_names() -> Tuple[str, ...]:
+    """Registered kinds, in registration order (legacy kinds first)."""
+    return tuple(_TEMPLATES)
+
+
+# ----------------------------------------------------------------------
+# Built-in templates
+# ----------------------------------------------------------------------
+def _plan_legacy(order: int, spec: Any, tps: Any, registry: Optional[Any]):
+    """The descriptor-hook path every legacy kind lowers through."""
+    from ..backends.registry import default_registry
+    from .planner import QueryPlan, runner_for
+
+    reg = registry if registry is not None else default_registry()
+    descriptor = reg.resolve(spec, tps).descriptor
+    return QueryPlan(
+        order=order,
+        spec=spec,
+        key=descriptor.index_identity(spec, tps.fingerprint()),
+        builder=descriptor.make_builder(spec, tps),
+        runner=runner_for(spec),
+        template=spec.kind,
+    )
+
+
+def _plan_pattern(order: int, spec: Any, tps: Any, registry: Optional[Any]):
+    from ..lang.compiler import compile_pattern
+
+    return compile_pattern(order, spec, tps, registry)
+
+
+_LEGACY_DESCRIPTIONS = {
+    "triangles": "durable triangles (Algorithm 1 / exact ℓ∞ solver)",
+    "cliques": "durable m-cliques (Appendix D.2)",
+    "paths": "durable m-paths (Appendix D.2)",
+    "stars": "durable m-stars (Appendix D.2)",
+    "pairs-sum": "SUM aggregate-durable pairs (Theorem 5.1)",
+    "pairs-union": "UNION aggregate-durable pairs (Theorem 5.2)",
+}
+
+for _kind in KINDS:
+    register_template(
+        PlanTemplate(
+            name=_kind,
+            plan=_plan_legacy,
+            description=_LEGACY_DESCRIPTIONS.get(_kind, ""),
+        )
+    )
+
+register_template(
+    PlanTemplate(
+        name="pattern-dsl",
+        plan=_plan_pattern,
+        description="declarative composite patterns compiled onto the "
+        "legacy index primitives (see docs/query_language.md)",
+    )
+)

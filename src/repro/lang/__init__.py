@@ -1,0 +1,40 @@
+"""Declarative temporal-pattern query language (the ``pattern-dsl`` kind).
+
+The package splits along classic compiler lines:
+
+* :mod:`repro.lang.ast` — frozen, hashable pattern nodes;
+* :mod:`repro.lang.parser` — the compact JSON / text surface forms;
+* :mod:`repro.lang.compiler` — lowering onto the planner's staged
+  :class:`~repro.engine.planner.QueryPlan` over the existing index
+  primitives;
+* :mod:`repro.lang.records` — :class:`ComposedRecord`, the combinator
+  result envelope.
+
+Entry points: a :class:`~repro.engine.spec.QuerySpec` with
+``kind="pattern-dsl"`` and a ``pattern`` payload (every serving surface
+— engine, batch CLI, serve, router — accepts it), or
+:func:`parse_pattern` for direct AST work.
+"""
+
+from .ast import (
+    AllNode,
+    PairsNode,
+    PatternNode,
+    SeqNode,
+    ShapeNode,
+    TrianglesNode,
+)
+from .parser import node_from_json, parse_pattern
+from .records import ComposedRecord
+
+__all__ = [
+    "AllNode",
+    "ComposedRecord",
+    "PairsNode",
+    "PatternNode",
+    "SeqNode",
+    "ShapeNode",
+    "TrianglesNode",
+    "node_from_json",
+    "parse_pattern",
+]

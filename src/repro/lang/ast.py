@@ -1,0 +1,243 @@
+"""AST nodes for the declarative temporal-pattern DSL.
+
+A pattern is a tree: primitive leaves name one of the paper's query
+families (durable triangles, m-cliques/paths/stars, SUM/UNION
+aggregate-durable pairs) and combinator nodes compose their matches —
+``seq`` for sequenced sub-patterns (ordered by lifespan start, with an
+optional start-gap constraint) and ``all`` for contemporaneous
+sub-patterns (joint lifespan intersection at least τ).
+
+Nodes are frozen dataclasses with tuple-valued children, so a parsed
+pattern is hashable and structurally comparable — which keeps
+:class:`~repro.engine.spec.QuerySpec` (whose ``pattern`` field holds
+the parsed root) usable in sets and as a cache discriminator.  Every
+node serialises back to the compact JSON form via :meth:`to_json`;
+:mod:`repro.lang.parser` is the inverse.
+
+Shared per-node modifiers:
+
+``tau``
+    Per-node durability override.  ``None`` means "inherit the query's
+    τ" — the executor passes the batch τ down at run time, so one
+    pattern answers a τ-sweep from the same compiled plan.
+``dur``
+    ``(lo, hi)`` bounds on the node's composite lifespan length
+    (``hi`` may be ``inf``); applied after matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ValidationError
+
+__all__ = [
+    "PatternNode",
+    "TrianglesNode",
+    "ShapeNode",
+    "PairsNode",
+    "SeqNode",
+    "AllNode",
+]
+
+Bounds = Tuple[float, float]
+
+
+def _check_bounds(value: Optional[Bounds], what: str) -> Optional[Bounds]:
+    if value is None:
+        return None
+    try:
+        lo, hi = value
+        lo, hi = float(lo), float(hi)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(
+            f"{what} must be a [lo, hi] pair of numbers, got {value!r}"
+        ) from exc
+    if lo > hi:
+        raise ValidationError(f"{what} bounds are inverted: {lo!r} > {hi!r}")
+    return (lo, hi)
+
+
+def _check_tau(tau: Optional[float]) -> Optional[float]:
+    if tau is None:
+        return None
+    try:
+        tau = float(tau)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"node tau must be a number, got {tau!r}") from exc
+    if not tau > 0:
+        raise ValidationError(f"node tau must be positive, got {tau!r}")
+    return tau
+
+
+def _modifier_json(node: "PatternNode") -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    if node.tau is not None:
+        out["tau"] = node.tau
+    if node.dur is not None:
+        out["dur"] = list(node.dur)
+    return out
+
+
+@dataclass(frozen=True)
+class PatternNode:
+    """Base class: the shared ``tau`` / ``dur`` modifiers."""
+
+    tau: Optional[float] = None
+    dur: Optional[Bounds] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tau", _check_tau(self.tau))
+        object.__setattr__(self, "dur", _check_bounds(self.dur, "dur"))
+
+    # Subclasses override; the base exists so isinstance checks and the
+    # compiler's generic walk have one anchor type.
+    def to_json(self) -> Dict[str, Any]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TrianglesNode(PatternNode):
+    """Durable triangles (Algorithm 1 / the exact ℓ∞ solver)."""
+
+    exact: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.exact is not None and not isinstance(self.exact, bool):
+            raise ValidationError(
+                f"triangles exact must be a boolean, got {self.exact!r}"
+            )
+
+    def to_json(self) -> Dict[str, Any]:
+        body: Dict[str, Any] = {}
+        if self.exact is not None:
+            body["exact"] = self.exact
+        return {"triangles": body, **_modifier_json(self)}
+
+
+@dataclass(frozen=True)
+class ShapeNode(PatternNode):
+    """A durable m-pattern of Appendix D: clique, path or star."""
+
+    shape: str = "clique"
+    m: int = 3
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.shape not in ("clique", "path", "star"):
+            raise ValidationError(
+                f"unknown pattern shape {self.shape!r}; "
+                "expected clique, path or star"
+            )
+        if not (isinstance(self.m, int) and not isinstance(self.m, bool) and self.m >= 2):
+            raise ValidationError(
+                f"pattern size m must be an integer >= 2, got {self.m!r}"
+            )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {self.shape: {"m": self.m}, **_modifier_json(self)}
+
+
+@dataclass(frozen=True)
+class PairsNode(PatternNode):
+    """Aggregate-durable pairs (Section 5): SUM or UNION witnesses."""
+
+    agg: str = "sum"
+    kappa: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.agg not in ("sum", "union"):
+            raise ValidationError(
+                f"unknown pair aggregate {self.agg!r}; expected sum or union"
+            )
+        if self.agg == "union":
+            if not (
+                isinstance(self.kappa, int)
+                and not isinstance(self.kappa, bool)
+                and self.kappa >= 1
+            ):
+                raise ValidationError(
+                    f"pairs(agg=union) requires a positive integer kappa, "
+                    f"got {self.kappa!r}"
+                )
+        elif self.kappa is not None:
+            raise ValidationError("kappa is only valid for pairs(agg=union)")
+
+    def to_json(self) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"agg": self.agg}
+        if self.kappa is not None:
+            body["kappa"] = self.kappa
+        return {"pairs": body, **_modifier_json(self)}
+
+
+def _check_parts(parts: Any, head: str) -> Tuple[PatternNode, ...]:
+    try:
+        out = tuple(parts)
+    except TypeError as exc:
+        raise ValidationError(
+            f"{head} takes a sequence of sub-patterns, got {parts!r}"
+        ) from exc
+    if len(out) < 2:
+        raise ValidationError(
+            f"{head} needs at least two sub-patterns, got {len(out)}"
+        )
+    for part in out:
+        if not isinstance(part, PatternNode):
+            raise ValidationError(
+                f"{head} sub-patterns must be pattern nodes, got {part!r}"
+            )
+    return out
+
+
+@dataclass(frozen=True)
+class SeqNode(PatternNode):
+    """Sequenced sub-patterns, ordered by component lifespan start.
+
+    Consecutive components ``c_i, c_{i+1}`` must satisfy
+    ``start(c_{i+1}) >= start(c_i)``; ``gap=(lo, hi)`` additionally
+    bounds the start delta ``start(c_{i+1}) - start(c_i)``.  The
+    composite lifespan is the span hull ``[min start, max end]``.
+    """
+
+    parts: Tuple[PatternNode, ...] = ()
+    gap: Optional[Bounds] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "parts", _check_parts(self.parts, "seq"))
+        object.__setattr__(self, "gap", _check_bounds(self.gap, "gap"))
+        if self.gap is not None and self.gap[0] < 0:
+            raise ValidationError(
+                f"gap lower bound must be >= 0, got {self.gap[0]!r}"
+            )
+
+    def to_json(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"seq": [p.to_json() for p in self.parts]}
+        if self.gap is not None:
+            out["gap"] = list(self.gap)
+        out.update(_modifier_json(self))
+        return out
+
+
+@dataclass(frozen=True)
+class AllNode(PatternNode):
+    """Contemporaneous sub-patterns: joint lifespan intersection ≥ τ.
+
+    The node's effective τ (its override, else the query τ) bounds the
+    *intersection* of the component lifespans; the composite lifespan
+    is that intersection.
+    """
+
+    parts: Tuple[PatternNode, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "parts", _check_parts(self.parts, "all"))
+
+    def to_json(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"all": [p.to_json() for p in self.parts]}
+        out.update(_modifier_json(self))
+        return out

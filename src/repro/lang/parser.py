@@ -1,0 +1,284 @@
+"""Parser for the compact JSON / text forms of the pattern DSL.
+
+Two interchangeable surface syntaxes produce the same
+:mod:`repro.lang.ast` tree:
+
+**JSON form** — one mapping per node, with exactly one *head* key
+(``triangles``, ``clique``, ``path``, ``star``, ``pairs``, ``seq``,
+``all``) plus optional modifier keys (``tau``, ``dur``, and ``gap``
+for ``seq``)::
+
+    {"seq": [{"pairs": {"agg": "sum"}},
+             {"pairs": {"agg": "sum"}}],
+     "gap": [0, 5]}
+
+**Text form** — the same tree as a call expression (what
+``repro query --pattern`` accepts on a shell line)::
+
+    seq(pairs(agg=sum), pairs(agg=sum), gap=[0,5])
+    all(clique(m=4), pairs(agg=union, kappa=8))
+    triangles(tau=3, dur=[2,10])
+
+:func:`parse_pattern` accepts either form (a mapping, a string —
+JSON when it starts with ``{`` — or an already-built node) and
+returns the validated AST root.  All failures raise
+:class:`~repro.errors.ValidationError` with the offending fragment
+named, so batch files and HTTP payloads fail with actionable messages
+instead of tracebacks.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from ..errors import ValidationError
+from .ast import (
+    AllNode,
+    PairsNode,
+    PatternNode,
+    SeqNode,
+    ShapeNode,
+    TrianglesNode,
+)
+
+__all__ = ["parse_pattern", "node_from_json"]
+
+#: Head keyword → whether the head's value is a child list (combinator).
+_HEADS = {
+    "triangles": False,
+    "clique": False,
+    "path": False,
+    "star": False,
+    "pairs": False,
+    "seq": True,
+    "all": True,
+}
+
+_MODIFIERS = ("tau", "dur", "gap")
+
+
+# ----------------------------------------------------------------------
+# JSON form
+# ----------------------------------------------------------------------
+def node_from_json(data: Any) -> PatternNode:
+    """Build one AST node from its JSON mapping."""
+    if not isinstance(data, Mapping):
+        raise ValidationError(f"pattern node must be a mapping, got {data!r}")
+    heads = [k for k in data if k in _HEADS]
+    if len(heads) != 1:
+        raise ValidationError(
+            f"pattern node needs exactly one of {', '.join(_HEADS)}; "
+            f"got keys {sorted(data)}"
+        )
+    head = heads[0]
+    extra = set(data) - {head} - set(_MODIFIERS)
+    if extra:
+        raise ValidationError(
+            f"unknown key(s) {sorted(extra)} on {head!r} node; "
+            f"expected a subset of {sorted(_MODIFIERS)}"
+        )
+    if "gap" in data and head != "seq":
+        raise ValidationError("gap is only valid on seq nodes")
+    mods: Dict[str, Any] = {
+        "tau": data.get("tau"),
+        "dur": tuple(data["dur"]) if isinstance(data.get("dur"), (list, tuple)) else data.get("dur"),
+    }
+    body = data[head]
+    if _HEADS[head]:
+        if not isinstance(body, (list, tuple)):
+            raise ValidationError(
+                f"{head} takes a list of sub-patterns, got {body!r}"
+            )
+        parts = tuple(node_from_json(child) for child in body)
+        if head == "seq":
+            gap = data.get("gap")
+            if isinstance(gap, (list, tuple)):
+                gap = tuple(gap)
+            return SeqNode(parts=parts, gap=gap, **mods)
+        return AllNode(parts=parts, **mods)
+    if body is None:
+        body = {}
+    if not isinstance(body, Mapping):
+        raise ValidationError(
+            f"{head} parameters must be a mapping, got {body!r}"
+        )
+    params = dict(body)
+    if head == "triangles":
+        exact = params.pop("exact", None)
+        _reject_params(params, head, ("exact",))
+        return TrianglesNode(exact=exact, **mods)
+    if head == "pairs":
+        agg = params.pop("agg", "sum")
+        kappa = params.pop("kappa", None)
+        _reject_params(params, head, ("agg", "kappa"))
+        return PairsNode(agg=agg, kappa=kappa, **mods)
+    m = params.pop("m", 3)
+    _reject_params(params, head, ("m",))
+    return ShapeNode(shape=head, m=m, **mods)
+
+
+def _reject_params(leftover: Dict[str, Any], head: str, known: Tuple[str, ...]) -> None:
+    if leftover:
+        raise ValidationError(
+            f"unknown {head} parameter(s) {sorted(leftover)}; "
+            f"expected a subset of {sorted(known)}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Text form: NAME '(' [arg {',' arg}] ')' where arg is a nested node or
+# key=value; values are numbers, bare words, booleans or [lo, hi].
+# ----------------------------------------------------------------------
+_TOKEN = re.compile(
+    r"\s*(?:(?P<num>-?\d+(?:\.\d+)?)|(?P<word>[A-Za-z_][A-Za-z0-9_-]*)"
+    r"|(?P<punct>[(),=\[\]]))"
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            raise ValidationError(
+                f"pattern syntax error at {text[pos:pos + 12]!r} (offset {pos})"
+            )
+        pos = match.end()
+        for kind in ("num", "word", "punct"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+class _TextParser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self, kind: str, value: Optional[str] = None) -> str:
+        token = self.peek()
+        if token is None or token[0] != kind or (value is not None and token[1] != value):
+            want = value if value is not None else kind
+            got = token[1] if token else "end of pattern"
+            raise ValidationError(
+                f"pattern syntax error: expected {want!r}, got {got!r}"
+            )
+        self.pos += 1
+        return token[1]
+
+    # ------------------------------------------------------------------
+    def parse(self) -> PatternNode:
+        node = self.node()
+        if self.peek() is not None:
+            raise ValidationError(
+                f"pattern syntax error: trailing input {self.peek()[1]!r}"
+            )
+        return node
+
+    def node(self) -> PatternNode:
+        head = self.take("word")
+        if head not in _HEADS:
+            raise ValidationError(
+                f"unknown pattern head {head!r}; expected one of {', '.join(_HEADS)}"
+            )
+        data: Dict[str, Any] = {head: [] if _HEADS[head] else {}}
+        if self.peek() == ("punct", "("):
+            self.take("punct", "(")
+            while self.peek() != ("punct", ")"):
+                self.argument(head, data)
+                if self.peek() == ("punct", ","):
+                    self.take("punct", ",")
+                elif self.peek() != ("punct", ")"):
+                    raise ValidationError(
+                        "pattern syntax error: expected ',' or ')' in "
+                        f"{head} arguments"
+                    )
+            self.take("punct", ")")
+        return node_from_json(data)
+
+    def argument(self, head: str, data: Dict[str, Any]) -> None:
+        token = self.peek()
+        if token is None:
+            raise ValidationError("pattern syntax error: unterminated arguments")
+        kind, value = token
+        following = self.tokens[self.pos + 1] if self.pos + 1 < len(self.tokens) else None
+        if kind == "word" and following == ("punct", "="):
+            key = self.take("word")
+            self.take("punct", "=")
+            parsed = self.value()
+            if key in _MODIFIERS:
+                data[key] = parsed
+            else:
+                if _HEADS[head]:
+                    raise ValidationError(
+                        f"{head} takes sub-patterns and modifiers, "
+                        f"not parameter {key!r}"
+                    )
+                data[head][key] = parsed
+            return
+        if kind == "word" and value in _HEADS:
+            if not _HEADS[head]:
+                raise ValidationError(
+                    f"{head} is a primitive and takes no sub-patterns"
+                )
+            data[head].append(self.node().to_json())
+            return
+        raise ValidationError(
+            f"pattern syntax error: unexpected {value!r} in {head} arguments"
+        )
+
+    def value(self) -> Any:
+        token = self.peek()
+        if token is None:
+            raise ValidationError("pattern syntax error: missing value after '='")
+        kind, value = token
+        if kind == "num":
+            self.take("num")
+            return float(value) if "." in value else int(value)
+        if kind == "word":
+            self.take("word")
+            return {"true": True, "false": False}.get(value.lower(), value)
+        if token == ("punct", "["):
+            self.take("punct", "[")
+            lo = self.number()
+            self.take("punct", ",")
+            hi = self.number()
+            self.take("punct", "]")
+            return [lo, hi]
+        raise ValidationError(f"pattern syntax error: bad value {value!r}")
+
+    def number(self) -> float:
+        raw = self.take("num")
+        return float(raw)
+
+
+# ----------------------------------------------------------------------
+def parse_pattern(payload: Union[str, Mapping[str, Any], PatternNode]) -> PatternNode:
+    """Parse a pattern payload into its AST root (idempotent on nodes)."""
+    if isinstance(payload, PatternNode):
+        return payload
+    if isinstance(payload, Mapping):
+        return node_from_json(payload)
+    if isinstance(payload, str):
+        text = payload.strip()
+        if not text:
+            raise ValidationError("pattern must not be empty")
+        if text.startswith("{"):
+            try:
+                data = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise ValidationError(f"pattern is not valid JSON: {exc}") from exc
+            return node_from_json(data)
+        return _TextParser(text).parse()
+    raise ValidationError(
+        f"pattern must be a mapping, a string or a pattern node, got {payload!r}"
+    )

@@ -1,0 +1,58 @@
+"""Composite result records produced by DSL combinator patterns.
+
+A primitive-rooted pattern returns the legacy record types untouched
+(:class:`~repro.types.TriangleRecord`, :class:`~repro.types.PairRecord`,
+:class:`~repro.types.PatternRecord`) — so a legacy kind expressed in the
+DSL is record-for-record identical to the native kind.  Combinator
+roots wrap their component matches in :class:`ComposedRecord`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from ..temporal.interval import Interval
+
+__all__ = ["ComposedRecord"]
+
+
+@dataclass(frozen=True)
+class ComposedRecord:
+    """One match of a ``seq`` / ``all`` combinator.
+
+    ``components`` holds the matched sub-records in pattern order —
+    legacy record objects for primitive parts, nested
+    :class:`ComposedRecord` instances for nested combinators.
+    ``lifespan`` is the combinator's composite interval: the span hull
+    for ``seq``, the joint intersection for ``all``.
+    """
+
+    template: str
+    components: Tuple[Any, ...]
+    lifespan: Interval
+
+    @property
+    def durability(self) -> float:
+        """``|lifespan|`` of the composite match."""
+        return self.lifespan.length
+
+    @property
+    def members(self) -> Tuple[int, ...]:
+        """Sorted union of all component member ids."""
+        out = set()
+        for component in self.components:
+            if isinstance(component, ComposedRecord):
+                out.update(component.members)
+            elif hasattr(component, "ids"):
+                out.update(component.ids)
+            elif hasattr(component, "members"):
+                out.update(component.members)
+            else:  # PairRecord
+                out.update((component.p, component.q))
+        return tuple(sorted(out))
+
+    @property
+    def key(self) -> Tuple[Any, ...]:
+        """Canonical identity for set comparisons (ordered components)."""
+        return (self.template, tuple(c.key for c in self.components))

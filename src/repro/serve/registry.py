@@ -179,6 +179,9 @@ class DatasetShard:
         #: queries each backend answered, how many builds it paid for,
         #: and the wall time spent building vs querying.
         self._backend_counters: Dict[str, Dict[str, Any]] = {}
+        #: Per-plan-template serving counters — which registered
+        #: template (legacy kind or ``pattern-dsl``) answered each query.
+        self._template_counters: Dict[str, Dict[str, Any]] = {}
         #: Single-writer gate for appends: one epoch bump at a time, so
         #: the ``tps`` swap plus cache advance is atomic w.r.t. other
         #: appenders (readers snapshot ``self.tps`` at plan time and
@@ -202,17 +205,28 @@ class DatasetShard:
         cache_hit: bool = False,
         build_seconds: float = 0.0,
         query_seconds: float = 0.0,
+        template: Optional[str] = None,
     ) -> None:
         """Bump the served/failed counters for one finished query.
 
         ``backend`` is the *resolved* backend name off the plan's cache
         key — per-backend accounting therefore reflects what actually
         ran, not what the client asked for (``auto`` never appears).
+        ``template`` is the plan template that served the query (the
+        spec's kind for legacy queries, ``pattern-dsl`` for compiled
+        patterns) and feeds the per-template metric families.
         """
         with self._lock:
             self._queries_total += 1
             if not ok:
                 self._errors_total += 1
+            if template:
+                tmpl = self._template_counters.setdefault(
+                    template, {"queries": 0, "errors": 0}
+                )
+                tmpl["queries"] += 1
+                if not ok:
+                    tmpl["errors"] += 1
             if backend is None:
                 return
             counters = self._backend_counters.setdefault(
@@ -256,8 +270,9 @@ class DatasetShard:
         success the shard's ``tps`` is swapped to the merged version
         (epoch + 1) and the index cache is advanced — families whose
         indexes support incremental maintenance (the paper's online
-        algorithms; currently durable triangles over the grid backend)
-        are migrated to the new epoch and keep hitting, the rest are
+        algorithms; currently durable triangles and SUM pairs over the
+        grid backend) are migrated to the new epoch and keep hitting,
+        the rest are
         invalidated and rebuild on their next query.  Batches larger
         than :data:`REBUILD_FRACTION` of the dataset skip maintenance
         entirely (rebuild-on-threshold).  Either way, queries after the
@@ -366,6 +381,14 @@ class DatasetShard:
                 for name, counters in self._backend_counters.items()
             }
 
+    def template_counters(self) -> Dict[str, Dict[str, Any]]:
+        """A consistent copy of the per-template counters (metrics callbacks)."""
+        with self._lock:
+            return {
+                name: dict(counters)
+                for name, counters in self._template_counters.items()
+            }
+
     def stats(self) -> Dict[str, Any]:
         """JSON-ready serving + cache statistics (the ``GET /stats`` shape)."""
         with self._lock:
@@ -374,6 +397,10 @@ class DatasetShard:
             backends = {
                 name: dict(counters)
                 for name, counters in self._backend_counters.items()
+            }
+            templates = {
+                name: dict(counters)
+                for name, counters in self._template_counters.items()
             }
             events = {
                 "accepted_total": self._events_accepted_total,
@@ -393,6 +420,7 @@ class DatasetShard:
             "queries_total": queries_total,
             "errors_total": errors_total,
             "backends": backends,
+            "templates": templates,
             "events": events,
             "uptime_seconds": time.monotonic() - self.created_monotonic,
         }
@@ -668,6 +696,32 @@ class DatasetRegistry:
             "serve_query_errors_total", "counter",
             "Failed queries by resolved backend.",
             backend_samples("errors"),
+        )
+
+        def template_samples(field):
+            def collect():
+                out = []
+                for shard in self.shards():
+                    for template, counters in shard.template_counters().items():
+                        out.append(
+                            (
+                                {"dataset": shard.name, "template": template},
+                                counters[field],
+                            )
+                        )
+                return out
+
+            return collect
+
+        metrics.callback(
+            "serve_template_queries_total", "counter",
+            "Finished queries by plan template (query kind).",
+            template_samples("queries"),
+        )
+        metrics.callback(
+            "serve_template_query_errors_total", "counter",
+            "Failed queries by plan template (query kind).",
+            template_samples("errors"),
         )
 
         def tenant_in_flight():

@@ -766,7 +766,12 @@ class ServeApp(AsyncApp):
         # Per-dataset default backend; precedence rules (explicit wins,
         # kind-aware) live in one place: engine.spec.apply_default_backend.
         queries = apply_default_backend(queries, shard.default_backend)
-        specs = [QuerySpec.from_dict(q) for q in queries]
+        specs = []
+        for i, q in enumerate(queries):
+            try:
+                specs.append(QuerySpec.from_dict(q))
+            except ValidationError as exc:
+                raise ValidationError(f"query #{i}: {exc}") from exc
         plans = plan_batch(specs, shard.tps)
         if tenant is not None:
             # Quota before admission: a breach must not consume queue
@@ -889,7 +894,7 @@ def _result_lines(index: int, result: QueryResult, include_records: bool):
                 "count": len(records),
                 "records": [record_to_dict(r) for r in records],
             }
-    yield {
+    line = {
         "type": "result",
         "query": index,
         "label": result.spec.label,
@@ -902,6 +907,9 @@ def _result_lines(index: int, result: QueryResult, include_records: bool):
         "build_seconds": result.build_seconds,
         "query_seconds": result.query_seconds,
     }
+    if result.stages:
+        line["stages"] = [dict(s) for s in result.stages]
+    yield line
 
 
 # ----------------------------------------------------------------------

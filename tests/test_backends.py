@@ -335,6 +335,36 @@ class TestKeyStability:
         for spec, key in expected:
             assert plan_query(0, spec, tps).key == key, spec
 
+    def test_pattern_dsl_stage_keys_are_bit_stable(self):
+        # A compiled pattern's stages mint the SAME keys the legacy
+        # planner mints for the equivalent explicit-kind specs — that
+        # identity is what lets DSL plans share cached sub-indexes with
+        # every pre-existing query, so it is pinned bit-for-bit here.
+        tps = random_tps(n=30, seed=9)
+        fp = tps.fingerprint()
+        spec = QuerySpec(
+            kind="pattern-dsl",
+            taus=3.0,
+            backend="grid",
+            pattern="seq(triangles(), pairs(agg=sum), gap=[0, 5])",
+        )
+        plan = plan_query(0, spec, tps)
+        assert plan.key == IndexKey("pattern-dsl", fp, 0.5, "dsl", ())
+        assert [s.key for s in plan.stages] == [
+            IndexKey("triangles", fp, 0.5, "grid", ()),
+            IndexKey("pairs-sum", fp, 0.5, "grid", ("profile",)),
+        ]
+        # Duplicate leaves fold into one stage (one shared sub-index).
+        dup = QuerySpec(
+            kind="pattern-dsl",
+            taus=3.0,
+            backend="grid",
+            pattern="seq(pairs(agg=sum), pairs(agg=sum))",
+        )
+        assert [s.key for s in plan_query(0, dup, tps).stages] == [
+            IndexKey("pairs-sum", fp, 0.5, "grid", ("profile",)),
+        ]
+
     def test_linf_exact_key_is_bit_stable_and_epsilon_free(self):
         tps = random_tps(n=30, seed=9, metric="linf")
         fp = tps.fingerprint()

@@ -332,27 +332,31 @@ class TestShardAppend:
 
     def test_small_append_maintains_triangles_invalidates_rest(self):
         # The acceptance assertion: after an append, the maintainable
-        # family (triangles over the grid) still hits the cache while
-        # affected families rebuild — exactly once — on their next use.
+        # families (triangles and SUM pairs over the grid) still hit the
+        # cache while affected families rebuild — exactly once — on
+        # their next use.
         shard = DatasetShard("d", random_tps(n=40))
         specs = [
             QuerySpec(kind="triangles", taus=2.0, backend="grid"),
             QuerySpec(kind="pairs-sum", taus=2.0, backend="grid"),
+            QuerySpec(kind="pairs-union", taus=2.0, kappa=4, backend="grid"),
         ]
         try:
             self._warm(shard, specs)
-            assert shard.cache.stats.builds == 2
+            assert shard.cache.stats.builds == 3
             report = shard.append_events(
                 '{"point": [0.5, 0.5], "start": 0.0, "end": 4.0}'
             )
-            assert report["maintained_families"] == ["triangles"]
-            assert report["invalidated_families"] == ["pairs-sum"]
+            assert report["maintained_families"] == ["pairs-sum", "triangles"]
+            assert report["invalidated_families"] == ["pairs-union"]
             before = shard.cache.stats.snapshot()
             results = self._warm(shard, specs)
             after = shard.cache.stats.since(before)
-            # Triangles hit the migrated entry; pairs-sum paid one build.
-            assert results[0].cache_hit and not results[1].cache_hit
-            assert after.hits == 1 and after.builds == 1
+            # Triangles and SUM pairs hit their migrated entries;
+            # UNION pairs paid one build.
+            assert results[0].cache_hit and results[1].cache_hit
+            assert not results[2].cache_hit
+            assert after.hits == 2 and after.builds == 1
         finally:
             shard.close()
 
@@ -508,6 +512,48 @@ class TestAppendQueryIdentity:
 
         full = random_tps(n=20, seed=5)
         idx = DurableTriangleIndex(_prefix(full, 10), 0.5, backend="cover-tree")
+        merged = idx.tps.with_events(
+            full.points[10:], full.starts[10:], full.ends[10:]
+        )
+        assert idx.maintained(merged) is None
+
+    @pytest.mark.parametrize("sum_backend", ["profile", "tree"])
+    def test_sum_pair_maintained_chain_matches_fresh(self, sum_backend):
+        # Same contract for the SUM pair family: successive appends
+        # through `maintained` must answer identically (membership AND
+        # witness scores) to a cold build at every epoch, for both SUM
+        # structures.
+        from repro.core.aggregate import SumPairIndex
+
+        full = random_tps(n=48, seed=7)
+        idx = SumPairIndex(
+            _prefix(full, 24), 0.5, backend="grid", sum_backend=sum_backend
+        )
+        current = idx.tps
+        for hi in (32, 40, 48):
+            current = current.with_events(
+                full.points[current.n: hi],
+                full.starts[current.n: hi],
+                full.ends[current.n: hi],
+            )
+            idx = idx.maintained(current)
+            assert idx is not None
+            cold = SumPairIndex(
+                current, 0.5, backend="grid", sum_backend=sum_backend
+            )
+            for tau in (0.5, 1.0, 2.0):
+                hot = sorted((r.key, r.score) for r in idx.query(tau))
+                ref = sorted((r.key, r.score) for r in cold.query(tau))
+                assert [k for k, _ in hot] == [k for k, _ in ref]
+                assert [s for _, s in hot] == pytest.approx(
+                    [s for _, s in ref]
+                )
+
+    def test_sum_pair_cover_tree_cannot_extend(self):
+        from repro.core.aggregate import SumPairIndex
+
+        full = random_tps(n=20, seed=9)
+        idx = SumPairIndex(_prefix(full, 10), 0.5, backend="cover-tree")
         merged = idx.tps.with_events(
             full.points[10:], full.starts[10:], full.ends[10:]
         )
