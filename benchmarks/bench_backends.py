@@ -69,6 +69,12 @@ def main(argv=None) -> int:
     parser.add_argument("--repeat", type=int, default=2,
                         help="timing repetitions (best-of)")
     parser.add_argument("--out", default="BENCH_backends.json")
+    parser.add_argument(
+        "--min-vector-speedup", type=float, default=5.0,
+        help="required vector-over-grid build+query speedup (best shape); "
+             "enforced only at --n >= 5000, where the SoA kernels have "
+             "real batches to amortise over (0 disables the gate)",
+    )
     args = parser.parse_args(argv)
     if args.repeat < 1:
         parser.error(f"--repeat must be >= 1, got {args.repeat}")
@@ -121,6 +127,56 @@ def main(argv=None) -> int:
                     file=sys.stderr,
                 )
 
+    # Vector-over-grid speedup ratios per (shape, kind): the SoA
+    # backend's reason to exist, recorded so regressions are visible in
+    # the artifact and gated below at calibration scale.
+    by_key = {(m["shape"], m["kind"], m["backend"]): m for m in measurements}
+    speedups = {}
+    for shape in SHAPES:
+        for kind_spec in KIND_SPECS:
+            grid = by_key.get((shape["name"], kind_spec["kind"], "grid"))
+            vec = by_key.get((shape["name"], kind_spec["kind"], "vector"))
+            if grid is None or vec is None:
+                continue
+            entry = {
+                "build": grid["build_seconds"] / max(vec["build_seconds"], 1e-12),
+                "query": grid["query_seconds"] / max(vec["query_seconds"], 1e-12),
+                "build_plus_query": (
+                    (grid["build_seconds"] + grid["query_seconds"])
+                    / max(vec["build_seconds"] + vec["query_seconds"], 1e-12)
+                ),
+            }
+            speedups.setdefault(shape["name"], {})[kind_spec["kind"]] = entry
+            print(
+                f"{shape['name']:>13} {kind_spec['kind']:<11} vector/grid"
+                f" speedup: build {entry['build']:5.2f}x"
+                f" query {entry['query']:5.2f}x"
+                f" b+q {entry['build_plus_query']:5.2f}x",
+                file=sys.stderr,
+            )
+    best_speedup = max(
+        (
+            entry["build_plus_query"]
+            for per_kind in speedups.values()
+            for entry in per_kind.values()
+        ),
+        default=0.0,
+    )
+    if args.n >= 5000 and args.min_vector_speedup > 0:
+        if best_speedup < args.min_vector_speedup:
+            print(
+                f"FAIL vector best build+query speedup over grid is "
+                f"{best_speedup:.2f}x at n={args.n}, required "
+                f">= {args.min_vector_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"vector speedup gate OK: best build+query {best_speedup:.2f}x "
+            f">= {args.min_vector_speedup:.2f}x",
+            file=sys.stderr,
+        )
+
     fitted = fit_coefficients(measurements)
     fitted_model = CostModel(fitted)
     # Sanity gate: a fit that prices any backend at zero (or below)
@@ -143,6 +199,8 @@ def main(argv=None) -> int:
         "repeat": args.repeat,
         "shapes": SHAPES,
         "measurements": measurements,
+        "vector_speedup_over_grid": speedups,
+        "best_vector_speedup": best_speedup,
         "coefficients": {n: c.as_dict() for n, c in fitted.items()},
         "default_coefficients": registry.cost_model.as_dict(),
         "auto_choices": auto_choices,

@@ -1,6 +1,6 @@
-"""The built-in backends: cover tree, grid, exact ℓ∞ range tree.
+"""The built-in backends: cover tree, grid, exact ℓ∞ range tree, vector.
 
-Each :func:`register_builtin_backends` call installs three descriptors:
+Each :func:`register_builtin_backends` call installs four descriptors:
 
 * ``cover-tree`` — the paper's general-metric net hierarchy
   (Appendix A).  Serves every query kind under any metric; the safe
@@ -15,6 +15,12 @@ Each :func:`register_builtin_backends` call installs three descriptors:
   (Algorithm 5, Theorem B.3).  Triangles only, ℓ∞ only, and the only
   backend with an exactness guarantee, so ``auto`` promotes eligible
   triangle queries to it.
+* ``vector`` — the structure-of-arrays backend
+  (:mod:`repro.backends.vector`): the same grid cells as ``grid`` but
+  built and queried by batched numpy kernels.  Record sets are
+  identical to ``grid``'s; the calibrated cost model prices it below
+  the object-graph backends on ``ℓ_α`` inputs, so ``auto`` usually
+  picks it there.
 
 The hooks reproduce the historical planner's cache identities
 bit-for-bit: for every pre-existing backend name the
@@ -142,6 +148,39 @@ def spatial_descriptor(
     )
 
 
+def _vector_builder(
+    spec: "QuerySpec", tps: "TemporalPointSet"
+) -> Callable[[], Any]:
+    """Builder hook for the SoA ``vector`` backend.
+
+    Constructs the vectorised index classes; their ``cache_key()`` hooks
+    emit the same ``(family, fingerprint, ε, "vector", …)`` identity as
+    :func:`_spatial_identity`, so planner keys and index keys agree.
+    """
+    kind = spec.kind
+    if kind == "triangles":
+        from .vector import VectorTriangleIndex
+
+        return lambda: VectorTriangleIndex(tps, epsilon=spec.epsilon)
+    if kind == "pairs-sum":
+        from .vector import VectorSumPairIndex
+
+        return lambda: VectorSumPairIndex(
+            tps, epsilon=spec.epsilon, sum_backend=spec.sum_backend
+        )
+    if kind == "pairs-union":
+        from .vector import VectorUnionPairIndex
+
+        return lambda: VectorUnionPairIndex(tps, epsilon=spec.epsilon)
+    if kind in ("cliques", "paths", "stars"):
+        from .vector import VectorPatternIndex
+
+        return lambda: VectorPatternIndex(tps, epsilon=spec.epsilon)
+    raise ValidationError(  # pragma: no cover - spec already validates kinds
+        f"unknown query kind {kind!r}"
+    )
+
+
 # ----------------------------------------------------------------------
 def _cover_tree_factory(points, metric, resolution):
     from ..covertree.ball_query import CoverTreeDecomposition
@@ -153,6 +192,12 @@ def _grid_factory(points, metric, resolution):
     from ..quadtree.tree import GridDecomposition
 
     return GridDecomposition(points, metric, resolution)
+
+
+def _vector_factory(points, metric, resolution):
+    from .vector import VectorGridDecomposition
+
+    return VectorGridDecomposition(points, metric, resolution)
 
 
 def _linf_exact_identity(spec: "QuerySpec", fingerprint: str) -> IndexKey:
@@ -211,6 +256,23 @@ def register_builtin_backends(registry: BackendRegistry) -> BackendRegistry:
             metric_ok=lambda metric: isinstance(metric, ChebyshevMetric),
             make_builder=_linf_exact_builder,
             index_identity=_linf_exact_identity,
+        ),
+        replace=True,
+    )
+    registry.register(
+        BackendDescriptor(
+            name="vector",
+            kinds=_ALL_KINDS,
+            exact=False,
+            description=(
+                "structure-of-arrays numpy kernels over grid cells; "
+                "fastest build+query on lp inputs"
+            ),
+            metric_requirement="lp metrics (grid cells)",
+            metric_ok=lambda metric: bool(metric.supports_grid),
+            make_builder=_vector_builder,
+            index_identity=_spatial_identity("vector"),
+            decomposition_factory=_vector_factory,
         ),
         replace=True,
     )

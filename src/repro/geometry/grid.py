@@ -40,10 +40,27 @@ class UniformGrid:
             raise ValidationError("points must be a 2-d array")
         self.side = float(side)
         self.dim = self.points.shape[1]
+        # Vectorised bucketing: one lexsort over the integer cell coords
+        # replaces the per-point dict loop.  Contents and iteration order
+        # are identical to the historical ``setdefault`` loop — members
+        # ascend within a cell (lexsort is stable) and cells appear in
+        # first-occurrence order (several consumers iterate ``_cells``
+        # and depend on that order, e.g. greedy net construction).
         self._cells: Dict[Cell, List[int]] = {}
         coords = np.floor(self.points / self.side).astype(np.int64)
-        for idx, key in enumerate(map(tuple, coords)):
-            self._cells.setdefault(key, []).append(idx)
+        if len(coords):
+            order = np.lexsort(coords.T[::-1])
+            sorted_coords = coords[order]
+            boundary = (
+                np.flatnonzero((sorted_coords[1:] != sorted_coords[:-1]).any(axis=1))
+                + 1
+            )
+            cell_starts = np.concatenate(([0], boundary))
+            cell_ends = np.concatenate((boundary, [len(order)]))
+            for g in np.argsort(order[cell_starts], kind="stable"):
+                lo, hi = cell_starts[g], cell_ends[g]
+                key = tuple(sorted_coords[lo].tolist())
+                self._cells[key] = order[lo:hi].tolist()
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

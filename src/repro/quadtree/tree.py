@@ -135,7 +135,7 @@ class GridDecomposition(SpatialDecomposition):
             else:
                 fresh.setdefault(key, []).append(pid)
 
-        clone = object.__new__(GridDecomposition)
+        clone = object.__new__(type(self))
         clone.points = np.concatenate([self.points, new])
         clone.metric = self.metric
         clone.resolution = self.resolution

@@ -51,10 +51,14 @@ def fresh_registry() -> BackendRegistry:
 # ----------------------------------------------------------------------
 class TestRegistry:
     def test_builtin_names_in_registration_order(self):
-        assert default_registry().names() == ("cover-tree", "grid", "linf-exact")
+        assert default_registry().names() == (
+            "cover-tree", "grid", "linf-exact", "vector",
+        )
 
     def test_unknown_backend_error_lists_registered(self):
-        with pytest.raises(BackendError, match="cover-tree, grid, linf-exact"):
+        with pytest.raises(
+            BackendError, match="cover-tree, grid, linf-exact, vector"
+        ):
             default_registry().get("annoy")
 
     def test_get_spatial_rejects_non_spatial(self):
@@ -262,7 +266,7 @@ class TestAutoResolution:
         opted_out = registry.resolve(
             QuerySpec(kind="triangles", taus=2.0, exact=False), tps
         )
-        assert opted_out.name in ("cover-tree", "grid")
+        assert opted_out.name in ("cover-tree", "grid", "vector")
 
     def test_explicit_backend_with_wrong_metric_names_alternatives(self):
         tps = random_tps(n=25, seed=2)
@@ -275,15 +279,20 @@ class TestAutoResolution:
                 QuerySpec(kind="triangles", taus=2.0, backend="grid"), opaque
             )
 
-    def test_cost_scales_choose_grid_on_lp_inputs(self):
-        # The measured coefficients price the grid build far below the
-        # cover tree on lp metrics — auto should agree.
+    def test_cost_scales_choose_vector_on_lp_inputs(self):
+        # The measured coefficients price the SoA vector backend below
+        # the grid, and the grid far below the cover tree, on lp
+        # metrics — auto should agree with that ordering.
         tps = random_tps(n=60, seed=4, metric="l2")
         resolution = default_registry().resolve(
             QuerySpec(kind="triangles", taus=2.0), tps
         )
-        assert resolution.name == "grid"
-        assert resolution.costs["grid"] < resolution.costs["cover-tree"]
+        assert resolution.name == "vector"
+        assert (
+            resolution.costs["vector"]
+            < resolution.costs["grid"]
+            < resolution.costs["cover-tree"]
+        )
 
 
 # ----------------------------------------------------------------------
@@ -330,6 +339,45 @@ class TestKeyStability:
             (
                 QuerySpec(kind="stars", taus=3.0, backend="cover-tree"),
                 IndexKey("patterns", fp, 0.5, "cover-tree", ()),
+            ),
+        ]
+        for spec, key in expected:
+            assert plan_query(0, spec, tps).key == key, spec
+
+    def test_vector_keys_follow_the_spatial_identity_scheme(self):
+        # The NEW vector backend mints keys through the same
+        # (family, fp, ε, name, extras) scheme as the other spatial
+        # backends — pinned here so vector cache identities are as
+        # stable as the pre-existing ones.
+        tps = random_tps(n=30, seed=9)
+        fp = tps.fingerprint()
+        expected = [
+            (
+                QuerySpec(kind="triangles", taus=3.0, backend="vector"),
+                IndexKey("triangles", fp, 0.5, "vector", ()),
+            ),
+            (
+                QuerySpec(kind="pairs-sum", taus=3.0, backend="vector"),
+                IndexKey("pairs-sum", fp, 0.5, "vector", ("profile",)),
+            ),
+            (
+                QuerySpec(
+                    kind="pairs-sum", taus=3.0, backend="vector",
+                    sum_backend="tree",
+                ),
+                IndexKey("pairs-sum", fp, 0.5, "vector", ("tree",)),
+            ),
+            (
+                QuerySpec(kind="pairs-union", taus=3.0, kappa=2, backend="vector"),
+                IndexKey("pairs-union", fp, 0.5, "vector", ()),
+            ),
+            (
+                QuerySpec(kind="cliques", taus=3.0, backend="vector"),
+                IndexKey("patterns", fp, 0.5, "vector", ()),
+            ),
+            (
+                QuerySpec(kind="stars", taus=3.0, epsilon=0.25, backend="vector"),
+                IndexKey("patterns", fp, 0.25, "vector", ()),
             ),
         ]
         for spec, key in expected:
@@ -382,7 +430,7 @@ class TestKeyStability:
         # agree for every explicit backend name.
         tps = random_tps(n=30, seed=9)
         engine = QueryEngine()
-        for backend in ("cover-tree", "grid"):
+        for backend in ("cover-tree", "grid", "vector"):
             for spec in (
                 QuerySpec(kind="triangles", taus=2.0, backend=backend),
                 QuerySpec(kind="pairs-sum", taus=2.0, backend=backend),
@@ -439,6 +487,12 @@ def _sorted_keys(records):
     return sorted(r.key for r in records)
 
 
+#: Every approximate spatial backend must agree on lattice inputs —
+#: including the SoA ``vector`` backend, whose batched kernels are
+#: required to reproduce the object-graph record sets exactly.
+PARITY_BACKENDS = ("cover-tree", "grid", "vector")
+
+
 class TestBackendParity:
     @settings(max_examples=25, deadline=None)
     @given(tps=lattice_tps(), tau=st.sampled_from([1.0, 2.0, 3.0]))
@@ -446,9 +500,10 @@ class TestBackendParity:
         # Triangles.
         tri = {
             b: DurableTriangleIndex(tps, PARITY_EPS, backend=b).query(tau)
-            for b in ("cover-tree", "grid")
+            for b in PARITY_BACKENDS
         }
-        assert _sorted_keys(tri["cover-tree"]) == _sorted_keys(tri["grid"])
+        for b in PARITY_BACKENDS[1:]:
+            assert _sorted_keys(tri[b]) == _sorted_keys(tri["cover-tree"]), b
 
         # SUM pairs: same pairs AND same witness sums (integer windows,
         # so float summation order cannot perturb them).
@@ -457,18 +512,20 @@ class TestBackendParity:
                 r.key: r.score
                 for r in SumPairIndex(tps, PARITY_EPS, backend=b).query(tau)
             }
-            for b in ("cover-tree", "grid")
+            for b in PARITY_BACKENDS
         }
-        assert sums["cover-tree"].keys() == sums["grid"].keys()
-        for key, score in sums["cover-tree"].items():
-            assert score == pytest.approx(sums["grid"][key])
+        for b in PARITY_BACKENDS[1:]:
+            assert sums[b].keys() == sums["cover-tree"].keys(), b
+            for key, score in sums["cover-tree"].items():
+                assert sums[b][key] == pytest.approx(score), (b, key)
 
         # UNION pairs (κ covers all witnesses; see PARITY_KAPPA).
         union = {
             b: UnionPairIndex(tps, PARITY_EPS, backend=b).query(tau, PARITY_KAPPA)
-            for b in ("cover-tree", "grid")
+            for b in PARITY_BACKENDS
         }
-        assert _sorted_keys(union["cover-tree"]) == _sorted_keys(union["grid"])
+        for b in PARITY_BACKENDS[1:]:
+            assert _sorted_keys(union[b]) == _sorted_keys(union["cover-tree"]), b
 
         # Patterns: cliques, paths and stars off one shared index each.
         for iterate in ("iter_cliques", "iter_paths", "iter_stars"):
@@ -478,11 +535,12 @@ class TestBackendParity:
                         3, tau
                     )
                 )
-                for b in ("cover-tree", "grid")
+                for b in PARITY_BACKENDS
             }
-            assert _sorted_keys(pats["cover-tree"]) == _sorted_keys(
-                pats["grid"]
-            ), iterate
+            for b in PARITY_BACKENDS[1:]:
+                assert _sorted_keys(pats[b]) == _sorted_keys(
+                    pats["cover-tree"]
+                ), (iterate, b)
 
     def test_fixed_example_parity_including_engine_path(self):
         # A deterministic anchor for the property above, driven through
@@ -501,9 +559,12 @@ class TestBackendParity:
                     backend=b, exact=False,
                 ),
             ).records
-            for b in ("cover-tree", "grid")
+            for b in PARITY_BACKENDS
         }
-        assert _sorted_keys(results["cover-tree"]) == _sorted_keys(results["grid"])
+        for b in PARITY_BACKENDS[1:]:
+            assert _sorted_keys(results[b]) == _sorted_keys(
+                results["cover-tree"]
+            ), b
         assert len(results["grid"]) > 0  # the example is non-degenerate
 
 
@@ -516,7 +577,7 @@ class TestCostModel:
         small = QueryFeatures(n=100, dim=2, metric="l2", n_taus=1)
         big = QueryFeatures(n=1000, dim=2, metric="l2", n_taus=1)
         sweep = QueryFeatures(n=100, dim=2, metric="l2", n_taus=8)
-        for backend in ("cover-tree", "grid", "linf-exact"):
+        for backend in ("cover-tree", "grid", "linf-exact", "vector"):
             assert model.estimate(backend, small) < model.estimate(backend, big)
             assert model.estimate(backend, small) < model.estimate(backend, sweep)
 
@@ -756,7 +817,7 @@ class TestCli:
     def test_backends_lists_descriptors(self):
         code, text = run_cli("backends")
         assert code == 0
-        for name in ("cover-tree", "grid", "linf-exact"):
+        for name in ("cover-tree", "grid", "linf-exact", "vector"):
             assert name in text
         assert "exact" in text and "kinds:" in text
 
@@ -765,7 +826,7 @@ class TestCli:
         assert code == 0
         doc = json.loads(text)
         assert {c["name"] for c in doc["backends"]} == {
-            "cover-tree", "grid", "linf-exact",
+            "cover-tree", "grid", "linf-exact", "vector",
         }
         assert "cover-tree" in doc["cost_coefficients"]
 
@@ -785,7 +846,7 @@ class TestCli:
         assert "backend: cover-tree" in text
         code, text = run_cli("triangles", "--n", "80", "--tau", "4")
         assert code == 0
-        assert "backend: grid" in text  # auto → grid on the l2 workload
+        assert "backend: vector" in text  # auto → vector on the l2 workload
 
     def test_batch_backend_override(self, tmp_path):
         qfile = tmp_path / "queries.json"
@@ -836,4 +897,4 @@ class TestCli:
         payload = json.loads(out.read_text())
         backends = [q["index"]["backend"] for q in payload["queries"]]
         assert backends[0] == "linf-exact"
-        assert backends[1] in ("cover-tree", "grid")
+        assert backends[1] in ("cover-tree", "grid", "vector")

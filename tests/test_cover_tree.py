@@ -131,3 +131,37 @@ class TestDecomposition:
         for gi in idxs[:5]:
             linked = dec.linked_groups(gi, idxs)
             assert gi in linked  # every group is linked to itself
+
+
+class TestUniformGridBucketing:
+    """The vectorised ``UniformGrid.__init__`` must reproduce the
+    historical per-point ``setdefault`` loop exactly: same cell keys in
+    the same first-occurrence order, same ascending member lists."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_vectorised_cells_match_reference_loop(self, seed):
+        from repro.geometry.grid import UniformGrid
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 300))
+        dim = int(rng.integers(1, 4))
+        # Quantised coordinates force plenty of cell collisions (and
+        # points exactly on cell boundaries).
+        pts = np.round(rng.uniform(-4, 4, size=(n, dim)) * 2) / 2
+        side = float(rng.choice([0.5, 0.75, 1.0]))
+        grid = UniformGrid(pts, side)
+
+        reference = {}
+        for pid, c in enumerate(np.floor(pts / side).astype(np.int64)):
+            reference.setdefault(tuple(c.tolist()), []).append(pid)
+
+        assert grid._cells == reference
+        # Dict equality ignores order; first-occurrence order is load-
+        # bearing for greedy-net determinism, so pin it explicitly.
+        assert list(grid._cells) == list(reference)
+
+    def test_empty_input(self):
+        from repro.geometry.grid import UniformGrid
+
+        grid = UniformGrid(np.zeros((0, 2)), 1.0)
+        assert grid._cells == {} and grid.n_cells == 0

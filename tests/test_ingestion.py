@@ -360,6 +360,35 @@ class TestShardAppend:
         finally:
             shard.close()
 
+    def test_small_append_maintains_all_four_vector_families(self):
+        # The vector backend implements maintained() for every family —
+        # a small append migrates all four entries instead of dropping
+        # any, and the next use of each is a cache hit.
+        shard = DatasetShard("d", random_tps(n=40))
+        specs = [
+            QuerySpec(kind="triangles", taus=2.0, backend="vector"),
+            QuerySpec(kind="pairs-sum", taus=2.0, backend="vector"),
+            QuerySpec(kind="pairs-union", taus=2.0, kappa=4, backend="vector"),
+            QuerySpec(kind="cliques", taus=2.0, m=3, backend="vector"),
+        ]
+        try:
+            self._warm(shard, specs)
+            assert shard.cache.stats.builds == 4
+            report = shard.append_events(
+                '{"point": [0.5, 0.5], "start": 0.0, "end": 4.0}'
+            )
+            assert report["maintained_families"] == [
+                "pairs-sum", "pairs-union", "patterns", "triangles",
+            ]
+            assert report["invalidated_families"] == []
+            before = shard.cache.stats.snapshot()
+            results = self._warm(shard, specs)
+            after = shard.cache.stats.since(before)
+            assert all(r.cache_hit for r in results)
+            assert after.hits == 4 and after.builds == 0
+        finally:
+            shard.close()
+
     def test_large_batch_skips_maintenance_rebuild_on_threshold(self):
         shard = DatasetShard("d", random_tps(n=10))
         spec = QuerySpec(kind="triangles", taus=2.0, backend="grid")
@@ -423,6 +452,12 @@ ALL_FAMILY_SPECS = [
     QuerySpec(kind="pairs-sum", taus=(2.0, 4.0), backend="grid"),
     QuerySpec(kind="pairs-union", taus=(2.0,), kappa=64, backend="grid"),
     QuerySpec(kind="cliques", taus=(2.0,), m=3, backend="grid"),
+    # The SoA vector backend rides the same IndexCache.advance path —
+    # every family must survive chained appends with identical answers.
+    QuerySpec(kind="triangles", taus=(1.0, 2.0, 3.0), backend="vector"),
+    QuerySpec(kind="pairs-sum", taus=(2.0, 4.0), backend="vector"),
+    QuerySpec(kind="pairs-union", taus=(2.0,), kappa=64, backend="vector"),
+    QuerySpec(kind="cliques", taus=(2.0,), m=3, backend="vector"),
 ]
 
 
@@ -548,6 +583,52 @@ class TestAppendQueryIdentity:
                 assert [s for _, s in hot] == pytest.approx(
                     [s for _, s in ref]
                 )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(24, 48))
+    def test_vector_maintained_chain_matches_fresh(self, seed, n):
+        # The vector backend's maintained() must stay identical to a
+        # cold SoA build arbitrarily deep into an append chain, for all
+        # four families (record sets AND SUM scores).
+        from repro.backends.vector import (
+            VectorPatternIndex,
+            VectorSumPairIndex,
+            VectorTriangleIndex,
+            VectorUnionPairIndex,
+        )
+
+        full = random_tps(n=n, seed=seed)
+        k = n // 2
+        build = {
+            "triangles": lambda tps: VectorTriangleIndex(tps, 0.5),
+            "pairs-sum": lambda tps: VectorSumPairIndex(tps, 0.5),
+            "pairs-union": lambda tps: VectorUnionPairIndex(tps, 0.5),
+            "patterns": lambda tps: VectorPatternIndex(tps, 0.5),
+        }
+        answer = {
+            "triangles": lambda ix: _sorted_keys(ix.query(2.0)),
+            "pairs-sum": lambda ix: sorted(
+                (r.key, r.score) for r in ix.query(2.0)
+            ),
+            "pairs-union": lambda ix: _sorted_keys(ix.query(2.0, 64)),
+            "patterns": lambda ix: _sorted_keys(ix.iter_cliques(3, 2.0)),
+        }
+        hot = {fam: make(_prefix(full, k)) for fam, make in build.items()}
+        current = hot["triangles"].tps
+        for hi in sorted({(k + n) // 2, n}):
+            if hi <= current.n:
+                continue
+            current = current.with_events(
+                full.points[current.n: hi],
+                full.starts[current.n: hi],
+                full.ends[current.n: hi],
+            )
+            for fam, make in build.items():
+                hot[fam] = hot[fam].maintained(current)
+                assert hot[fam] is not None, fam
+                assert answer[fam](hot[fam]) == answer[fam](
+                    make(current)
+                ), fam
 
     def test_sum_pair_cover_tree_cannot_extend(self):
         from repro.core.aggregate import SumPairIndex
