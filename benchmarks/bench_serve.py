@@ -2,7 +2,7 @@
 """Closed-loop load driver for the serving front end → ``BENCH_serve.json``.
 
 Boots an in-process server (ephemeral port), registers **two datasets
-on separate shards**, then runs four phases:
+on separate shards**, then runs six phases:
 
 1. **warmup** — one batch per dataset so every index the load phase
    needs is built (the steady-state serving regime the paper's
@@ -25,7 +25,13 @@ on separate shards**, then runs four phases:
    and the query that follows each epoch bump, then the merged point
    set is registered fresh and queried cold — the full re-registration
    baseline the incremental path is compared against.  Both paths must
-   report identical per-query counts (the versioned-dataset identity).
+   report identical per-query counts (the versioned-dataset identity);
+6. **tracing overhead** — an identical cached τ-sweep is replayed
+   against two fresh servers that differ only in ``tracing=``, with
+   requests alternating between them so machine noise lands on both
+   sides alike.  The traced mean latency is gated at ≤5% over the
+   untraced mean (``tracing_overhead`` in the JSON) — the number
+   ``docs/tracing.md`` promises.
 
 Server-side facts come from **/metrics diffs**: the driver scrapes
 ``GET /metrics`` before and after each phase and derives latency
@@ -331,6 +337,113 @@ def run_reuse_phase(handle, clients, iterations, pooled, dataset="sweep"):
         "connections_opened": sum(connections),
         "wall_seconds": wall,
         "latency_ms": _latency_ms(latencies),
+    }
+
+
+#: The tracing-overhead gate: the traced mean may exceed the untraced
+#: mean by at most this percentage (docs/tracing.md quotes the 5%).
+#: The absolute floor absorbs timer granularity on sub-millisecond
+#: requests, where 5% of the mean is smaller than scheduler noise.
+TRACING_OVERHEAD_GATE_PCT = 5.0
+TRACING_NOISE_FLOOR_MS = 0.2
+
+
+def run_tracing_overhead(queue_limit, n, rounds, failures):
+    """Phase 6: the traced-vs-untraced latency comparison.
+
+    Boots two fresh servers identical except for ``tracing=``, warms
+    the same index on both, then replays ``rounds`` cached τ-sweep
+    batches against each — alternating sides every request, order
+    flipped every round, so drift and background noise cancel instead
+    of biasing one mode.  Responses double as a sanity check that the
+    knob did something: the traced side must echo a ``trace_id``, the
+    untraced side must not (otherwise the gate would be vacuous).
+    """
+    spec = {"workload": "social", "n": n, "seed": 13}
+    body = {"dataset": "ovh", "queries": [REUSE_SWEEP], "include_records": False}
+    latencies = {"traced": [], "untraced": []}
+    trace_ids = {"traced": set(), "untraced": set()}
+    servers = []
+
+    def one(label, client):
+        t0 = time.perf_counter()
+        status, data = client.request("POST", "/query", body)
+        latency = time.perf_counter() - t0
+        if status != 200:
+            failures.append(f"tracing-overhead query ({label}): HTTP {status}")
+            return
+        last = json.loads(data.decode().strip().rsplit("\n", 1)[-1])
+        if not last.get("ok"):
+            failures.append(f"tracing-overhead query ({label}): batch not ok")
+            return
+        latencies[label].append(latency)
+        trace_ids[label].add(last.get("trace_id"))
+
+    try:
+        for label, tracing in (("traced", True), ("untraced", False)):
+            handle = start_server_thread(
+                queue_limit=queue_limit, tracing=tracing, slow_query_ms=1e9
+            )
+            client = Client(handle.host, handle.port, pooled=True)
+            status, data = client.request(
+                "POST", "/datasets", {"name": "ovh", "dataset": spec}
+            )
+            if status != 201:
+                failures.append(
+                    f"tracing-overhead register ({label}): HTTP {status} {data!r}"
+                )
+            # Warm the sweep index so both sides measure pure serving
+            # cost — the regime where per-span bookkeeping would show.
+            client.request("POST", "/query", body)
+            servers.append((label, handle, client))
+        for r in range(rounds):
+            order = servers if r % 2 == 0 else servers[::-1]
+            for label, _handle, client in order:
+                one(label, client)
+    finally:
+        for _label, handle, client in servers:
+            client.close()
+            try:
+                handle.stop()
+            except Exception as exc:  # noqa: BLE001
+                failures.append(f"tracing-overhead shutdown: {exc}")
+
+    if not all(trace_ids["traced"]):
+        failures.append(
+            "tracing-overhead: traced server responses missing trace_id"
+        )
+    if any(trace_ids["untraced"]):
+        failures.append(
+            "tracing-overhead: untraced server responses carried a trace_id"
+        )
+    traced_ms = _latency_ms(latencies["traced"])
+    untraced_ms = _latency_ms(latencies["untraced"])
+    overhead_pct = (
+        (traced_ms["mean"] / untraced_ms["mean"] - 1.0) * 100.0
+        if untraced_ms["mean"]
+        else 0.0
+    )
+    gate_ms = (
+        untraced_ms["mean"] * (1.0 + TRACING_OVERHEAD_GATE_PCT / 100.0)
+        + TRACING_NOISE_FLOOR_MS
+    )
+    passed = traced_ms["mean"] <= gate_ms
+    if latencies["traced"] and latencies["untraced"] and not passed:
+        failures.append(
+            "tracing overhead over gate: traced mean "
+            f"{traced_ms['mean']:.3f} ms vs untraced "
+            f"{untraced_ms['mean']:.3f} ms "
+            f"({overhead_pct:+.1f}% > {TRACING_OVERHEAD_GATE_PCT:.0f}% "
+            f"+ {TRACING_NOISE_FLOOR_MS} ms floor)"
+        )
+    return {
+        "requests_per_mode": len(latencies["traced"]),
+        "traced_latency_ms": traced_ms,
+        "untraced_latency_ms": untraced_ms,
+        "mean_overhead_pct": overhead_pct,
+        "gate_pct": TRACING_OVERHEAD_GATE_PCT,
+        "noise_floor_ms": TRACING_NOISE_FLOOR_MS,
+        "passed": passed,
     }
 
 
@@ -659,6 +772,14 @@ def main(argv=None) -> int:
             },
         }
 
+        # -- tracing overhead: traced vs untraced, identical sweep ----
+        tracing_overhead = run_tracing_overhead(
+            args.queue_limit,
+            min(args.n, 120),
+            max(args.clients * args.requests, 30),
+            failures,
+        )
+
         # -- per-shard and connection statistics ----------------------
         status, data = admin.request("GET", "/stats")
         stats = json.loads(data) if status == 200 else {}
@@ -719,6 +840,7 @@ def main(argv=None) -> int:
                 "rejected_429": rejected,
             },
             "ingestion": ingestion,
+            "tracing_overhead": tracing_overhead,
             "datasets": per_dataset,
             "failures": failures,
         }
@@ -766,6 +888,13 @@ def main(argv=None) -> int:
             f"{ingestion['post_append_query_latency_ms']['p50']:.1f} ms vs "
             "re-register+cold "
             f"{(ingestion['full_reregistration']['register_seconds'] + ingestion['full_reregistration']['cold_query_seconds']) * 1e3:.1f} ms"
+        )
+        print(
+            f"tracing overhead: traced mean "
+            f"{tracing_overhead['traced_latency_ms']['mean']:.2f} ms vs "
+            f"untraced {tracing_overhead['untraced_latency_ms']['mean']:.2f} ms "
+            f"({tracing_overhead['mean_overhead_pct']:+.1f}%, gate "
+            f"{tracing_overhead['gate_pct']:.0f}%)"
         )
         print(
             f"serve bench: {total_requests} requests in {load_wall:.2f}s "

@@ -29,11 +29,16 @@ sys.path.insert(
     os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"),
 )
 
-from repro.obs import counter_value, histogram_snapshot, parse_exposition
+from repro.obs import (
+    counter_value,
+    format_waterfall,
+    histogram_snapshot,
+    parse_exposition,
+)
 
-# The client plumbing lives in the library so the `repro append` CLI
-# and the examples share one implementation.
-from repro.serve.client import append_events, probe, request
+# The client plumbing lives in the library so the `repro append` and
+# `repro trace` CLIs and the examples share one implementation.
+from repro.serve.client import append_events, fetch_trace, fetch_traces, probe, request
 
 
 def main() -> int:
@@ -98,7 +103,8 @@ def main() -> int:
             elif doc["type"] == "batch-end":
                 print(
                     f"  batch: {doc['queries']} queries, {doc['errors']} errors, "
-                    f"{doc['wall_seconds'] * 1e3:.1f} ms"
+                    f"{doc['wall_seconds'] * 1e3:.1f} ms  "
+                    f"trace_id={doc.get('trace_id')}"
                 )
 
         # -- stream a few live events into the dataset: the epoch bumps,
@@ -180,6 +186,24 @@ def main() -> int:
                 f"mean {latency.mean * 1e3:.1f} ms, "
                 f"p90 {latency.quantile(0.9) * 1e3:.1f} ms"
             )
+
+        # -- every request above left a trace in the server's ring
+        #    (GET /debug/traces): fetch the slowest and print its span
+        #    waterfall — where that request's time actually went.
+        status, doc = fetch_traces(conn, limit=50)
+        traces = sorted(
+            doc.get("traces", []),
+            key=lambda t: -(t.get("duration_ms") or 0.0),
+        )
+        if traces:
+            slowest = traces[0]
+            status, full = fetch_trace(conn, slowest["trace_id"])
+            print(
+                f"GET /debug/traces -> slowest of this session's "
+                f"{len(traces)} requests ({slowest.get('route')}):"
+            )
+            for line in format_waterfall(full).splitlines():
+                print(f"  {line}")
     finally:
         conn.close()
         if handle is not None:

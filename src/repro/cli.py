@@ -17,6 +17,7 @@ Commands::
     python -m repro serve      --port 8765 --dataset 'soc={"workload":"social","n":400}'
     python -m repro route      --port 8766 --workers 4
     python -m repro append     soc events.ndjson --port 8765
+    python -m repro trace      --slow --port 8765
 
 Backend dispatch is uniform across the CLI: every query-running command
 takes ``--backend`` (default ``auto`` — the registry's cost model picks
@@ -54,6 +55,13 @@ exposed on one public port.
 dataset via ``POST /datasets/<name>/events``, printing the new epoch
 and the accepted/rejected counts.  It works identically against a
 ``serve`` process and the ``route`` tier.
+
+``trace`` renders a request's span waterfall from a live server's
+trace ring (``GET /debug/traces/<id>``) — stitched across the router
+and the owning worker when the ``route`` tier answers — or, with
+``--slow``, lists the slowest retained traces.  Every query envelope
+and error body carries the ``trace_id`` to pass here; see
+``docs/tracing.md``.
 """
 
 from __future__ import annotations
@@ -205,6 +213,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "POST /query then requires X-API-Key and is "
                             "metered by weighted fair shares and quotas "
                             "(see docs/operations.md)")
+    p_srv.add_argument("--trace-sample", type=float, default=None,
+                       metavar="P",
+                       help="head-sampling probability for trace retention "
+                            "(slow and error traces are always kept; "
+                            "default: 1.0 — see docs/tracing.md)")
+    p_srv.add_argument("--slow-query-ms", type=float, default=None,
+                       metavar="MS",
+                       help="requests at or above this duration are logged "
+                            "to the slow-query NDJSON log and always "
+                            "retained in the trace ring (default: 500)")
 
     p_rt = sub.add_parser(
         "route",
@@ -243,6 +261,38 @@ def build_parser() -> argparse.ArgumentParser:
                       help="tenant file (JSON), forwarded to every worker; "
                            "the router passes X-API-Key through, workers "
                            "enforce fair shares and quotas")
+    p_rt.add_argument("--trace-sample", type=float, default=None,
+                      metavar="P",
+                      help="head-sampling probability for trace retention, "
+                           "applied on the router and forwarded to every "
+                           "worker (default: 1.0)")
+    p_rt.add_argument("--slow-query-ms", type=float, default=None,
+                      metavar="MS",
+                      help="slow-query threshold in milliseconds, applied "
+                           "on the router and forwarded to every worker "
+                           "(default: 500)")
+
+    p_trc = sub.add_parser(
+        "trace",
+        help="fetch a request trace from a serve or route process and "
+             "print its span waterfall",
+    )
+    p_trc.add_argument("trace_id", nargs="?", default=None,
+                       help="trace id echoed on the query envelope "
+                            "(omit with --slow to list recent slow traces)")
+    p_trc.add_argument("--slow", action="store_true",
+                       help="list the slowest recent traces instead of "
+                            "fetching one id")
+    p_trc.add_argument("--min-ms", type=float, default=None, metavar="MS",
+                       help="with --slow: only traces at least this slow")
+    p_trc.add_argument("--limit", type=int, default=10,
+                       help="with --slow: how many traces to list")
+    p_trc.add_argument("--dataset", default=None,
+                       help="with --slow: only traces for this dataset")
+    p_trc.add_argument("--host", default="127.0.0.1",
+                       help="serve or route address")
+    p_trc.add_argument("--port", type=int, default=8765,
+                       help="serve or route port")
 
     p_app = sub.add_parser(
         "append",
@@ -489,6 +539,10 @@ def _run_serve(args: argparse.Namespace, out) -> int:
         keepalive_kwargs["idle_timeout"] = args.idle_timeout
     if args.max_requests_per_conn is not None:
         keepalive_kwargs["max_requests_per_connection"] = args.max_requests_per_conn
+    if args.trace_sample is not None:
+        keepalive_kwargs["trace_sample"] = args.trace_sample
+    if args.slow_query_ms is not None:
+        keepalive_kwargs["slow_query_ms"] = args.slow_query_ms
     run_server(
         host=args.host,
         port=args.port,
@@ -537,6 +591,15 @@ def _run_route(args: argparse.Namespace, out) -> int:
     route_kwargs = {}
     if args.probe_interval is not None:
         route_kwargs["probe_interval"] = args.probe_interval
+    # Tracing settings apply to the router itself AND ride serve_args so
+    # every worker keeps/logs by the same policy — a trace either has
+    # its worker half or was sampled out on both sides consistently.
+    if args.trace_sample is not None:
+        serve_args += ["--trace-sample", str(args.trace_sample)]
+        route_kwargs["trace_sample"] = args.trace_sample
+    if args.slow_query_ms is not None:
+        serve_args += ["--slow-query-ms", str(args.slow_query_ms)]
+        route_kwargs["slow_query_ms"] = args.slow_query_ms
 
     def announce(host: str, port: int, app) -> None:
         statuses = app.pool.statuses()
@@ -567,6 +630,84 @@ def _run_route(args: argparse.Namespace, out) -> int:
     )
     print("router stopped", file=out)
     return 0
+
+
+def _run_trace(args: argparse.Namespace, out) -> int:
+    """``repro trace``: span waterfalls from a live serve/route process.
+
+    ``repro trace <id>`` prints one trace (stitched across processes
+    when the router answers); ``repro trace --slow`` lists the slowest
+    recent traces so an operator can pick an id without grepping the
+    slow-query log.  Exit code 0 on success, 1 when the id is unknown.
+    """
+    from .obs.trace import format_waterfall
+    from .serve.client import connect, fetch_trace, fetch_traces, probe
+
+    if args.slow == (args.trace_id is not None):
+        raise ValidationError(
+            "pass exactly one of a trace id or --slow "
+            "(`repro trace <id>` or `repro trace --slow`)"
+        )
+    try:
+        probe(args.host, args.port)
+    except OSError as exc:
+        raise ValidationError(
+            f"no server on {args.host}:{args.port} ({exc}); start one with "
+            "`repro serve` or `repro route`"
+        ) from exc
+    conn = connect(args.host, args.port)
+    try:
+        if args.slow:
+            status, doc = fetch_traces(
+                conn,
+                min_duration_ms=args.min_ms,
+                limit=args.limit,
+                dataset=args.dataset,
+            )
+            if status != 200 or not isinstance(doc, dict):
+                print(f"trace listing failed: HTTP {status} {doc}", file=out)
+                return 1
+            traces = sorted(
+                doc.get("traces", []),
+                key=lambda t: -(t.get("duration_ms") or 0.0),
+            )
+            if not traces:
+                print("no traces retained (check --trace-sample and "
+                      "whether the server has taken traffic)", file=out)
+                return 0
+            for t in traces:
+                flags = []
+                if t.get("slow"):
+                    flags.append("slow")
+                if t.get("status") not in (None, "ok"):
+                    flags.append(t["status"])
+                suffix = f"  [{','.join(flags)}]" if flags else ""
+                dataset = f"  dataset={t['dataset']}" if t.get("dataset") else ""
+                print(
+                    f"{t.get('trace_id')}  {t.get('duration_ms', 0.0):8.1f} ms  "
+                    f"{t.get('route', '?')}{dataset}{suffix}",
+                    file=out,
+                )
+            print(
+                f"({len(traces)} traces; `repro trace <id>` for a waterfall)",
+                file=out,
+            )
+            return 0
+        status, doc = fetch_trace(conn, args.trace_id)
+        if status == 404:
+            print(
+                f"trace {args.trace_id!r} not found "
+                f"({doc.get('error', 'sampled out, evicted, or unknown')})",
+                file=out,
+            )
+            return 1
+        if status != 200 or not isinstance(doc, dict):
+            print(f"trace fetch failed: HTTP {status} {doc}", file=out)
+            return 1
+        print(format_waterfall(doc), file=out)
+        return 0
+    finally:
+        conn.close()
 
 
 def _run_append(args: argparse.Namespace, out) -> int:
@@ -665,6 +806,8 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
             return _run_route(args, out)
         if args.command == "append":
             return _run_append(args, out)
+        if args.command == "trace":
+            return _run_trace(args, out)
         if args.command == "backends":
             return _run_backends(args, out)
         tps = load_workload(args)

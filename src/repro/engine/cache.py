@@ -45,11 +45,18 @@ class CacheOutcome(NamedTuple):
     ``build_seconds`` is the wall time of the flight that produced
     ``index`` — carried on the outcome itself so callers never have to
     look the entry up again (it may already be LRU-evicted by then).
+
+    ``source`` distinguishes the three ways a request can resolve:
+    ``"hit"`` (entry was ready), ``"build"`` (this request owned the
+    single-flight build), ``"wait"`` (joined someone else's in-flight
+    build).  ``hit`` stays the two-way summary — waiters count as hits,
+    as they always have — so existing callers are unaffected.
     """
 
     index: Any
     hit: bool
     build_seconds: float
+    source: str = "hit"
 
 
 @dataclass
@@ -189,7 +196,9 @@ class IndexCache:
                     # Completed entries in the table are always successes
                     # (failed flights are dropped before ready is set).
                     self._stats.hits += 1
-                    return CacheOutcome(entry.index, True, entry.build_seconds)
+                    return CacheOutcome(
+                        entry.index, True, entry.build_seconds, "hit"
+                    )
                 # In-flight: whether this is a hit isn't known until the
                 # build resolves — account for it after the wait.
                 owner = False
@@ -217,7 +226,7 @@ class IndexCache:
                 self._stats.build_seconds += entry.build_seconds
                 self._evict_locked()
             entry.ready.set()
-            return CacheOutcome(entry.index, False, entry.build_seconds)
+            return CacheOutcome(entry.index, False, entry.build_seconds, "build")
 
         entry.ready.wait()
         if entry.error is not None:
@@ -226,7 +235,7 @@ class IndexCache:
             raise _waiter_copy(entry.error)
         with self._lock:
             self._stats.hits += 1
-        return CacheOutcome(entry.index, True, entry.build_seconds)
+        return CacheOutcome(entry.index, True, entry.build_seconds, "wait")
 
     def _evict_locked(self) -> None:
         if self.max_entries is None:

@@ -30,6 +30,7 @@ from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, List, Optional, Sequence, Tuple
 
+from ..obs.trace import ExecTrace
 from .cache import IndexCache
 from .planner import QueryPlan
 from .results import QueryResult
@@ -43,8 +44,32 @@ def default_worker_count(n_plans: int) -> int:
     return max(1, min(n_plans, cpus))
 
 
+def _traced_get(cache: IndexCache, key, builder, trace, parent_id, stage=None):
+    """``get_or_build`` wrapped in a ``cache.get`` span when tracing.
+
+    The span's ``outcome`` attribute distinguishes a ready hit, the
+    single-flight build this request owned, and a wait on someone
+    else's in-flight build — the three latencies an operator needs to
+    tell apart when a cold index shows up in a waterfall.
+    """
+    if trace is None:
+        return cache.get_or_build(key, builder)
+    handle = trace.recorder.start_span(
+        "cache.get",
+        parent_id=parent_id,
+        attrs={"family": key.family, "backend": key.backend,
+               **({"stage": stage} if stage is not None else {})},
+    )
+    with handle:
+        outcome = cache.get_or_build(key, builder)
+        handle.set_attr("outcome", outcome.source)
+        if not outcome.hit:
+            handle.set_attr("build_seconds", round(outcome.build_seconds, 6))
+    return outcome
+
+
 def _execute_one(
-    plan: QueryPlan, cache: IndexCache
+    plan: QueryPlan, cache: IndexCache, trace: Optional[ExecTrace] = None
 ) -> Tuple[QueryResult, Optional[BaseException]]:
     """Run one plan, capturing any failure into the result envelope.
 
@@ -57,8 +82,35 @@ def _execute_one(
     acquire every :class:`~repro.engine.planner.PlanStage` through the
     same single-flight cache — per-stage build timing lands on the
     result's ``stages`` — and call ``runner({name: index}, tau)``.
+
+    ``trace`` (an :class:`~repro.obs.trace.ExecTrace`) is passed
+    explicitly because this runs on a thread pool where ambient
+    contextvars do not follow; when present, the plan's queue wait,
+    each cache acquisition and the runner sweep each land as spans.
     """
     t0 = time.perf_counter()
+    query_span = None
+    if trace is not None:
+        # Time spent between executor submission and this thread picking
+        # the plan up — thread-pool/admission backlog made visible.
+        trace.recorder.add_timed(
+            "queue.wait",
+            parent_id=trace.parent_id,
+            start=trace.submitted_wall,
+            duration=time.perf_counter() - trace.submitted_perf,
+            attrs={"query": trace.index},
+        )
+        query_span = trace.recorder.start_span(
+            "engine.query",
+            parent_id=trace.parent_id,
+            attrs={
+                "query": trace.index,
+                "kind": plan.spec.kind,
+                "backend": plan.key.backend,
+                **({"template": plan.template} if plan.template else {}),
+            },
+        )
+    parent_id = query_span.span_id if query_span is not None else None
     try:
         stage_timings: Tuple[Any, ...] = ()
         if plan.stages:
@@ -67,7 +119,10 @@ def _execute_one(
             build_seconds = 0.0
             timings = []
             for stage in plan.stages:
-                outcome = cache.get_or_build(stage.key, stage.builder)
+                outcome = _traced_get(
+                    cache, stage.key, stage.builder, trace, parent_id,
+                    stage=stage.name,
+                )
                 indexes[stage.name] = outcome.index
                 stage_build = 0.0 if outcome.hit else outcome.build_seconds
                 build_seconds += stage_build
@@ -84,7 +139,7 @@ def _execute_one(
             stage_timings = tuple(timings)
             target: Any = indexes
         else:
-            outcome = cache.get_or_build(plan.key, plan.builder)
+            outcome = _traced_get(cache, plan.key, plan.builder, trace, parent_id)
             cache_hit = outcome.hit
             # The outcome carries its flight's own build time, so this
             # stays correct even if the entry was LRU-evicted by a later
@@ -92,11 +147,32 @@ def _execute_one(
             build_seconds = 0.0 if outcome.hit else outcome.build_seconds
             target = outcome.index
         records_by_tau: "OrderedDict[float, List[Any]]" = OrderedDict()
+        if trace is not None:
+            # Staged plans evaluate the composed DSL combinator tree over
+            # the stage indexes; legacy plans sweep one backend index.
+            sweep_name = "dsl.eval" if plan.stages else "backend.query"
+            sweep_span = trace.recorder.start_span(
+                sweep_name, parent_id=parent_id,
+                attrs={"taus": len(plan.spec.taus)},
+            )
+        else:
+            sweep_span = None
         t_query = time.perf_counter()
-        for tau in plan.spec.taus:
-            records_by_tau[tau] = plan.runner(target, tau)
+        try:
+            for tau in plan.spec.taus:
+                records_by_tau[tau] = plan.runner(target, tau)
+        except Exception as exc:
+            if sweep_span is not None:
+                sweep_span.set_error(f"{type(exc).__name__}: {exc}")
+                sweep_span.finish()
+            raise
         query_seconds = time.perf_counter() - t_query
+        if sweep_span is not None:
+            sweep_span.finish()
     except Exception as exc:
+        if query_span is not None:
+            query_span.set_error(f"{type(exc).__name__}: {exc}")
+            query_span.finish()
         return (
             QueryResult(
                 spec=plan.spec,
@@ -109,6 +185,8 @@ def _execute_one(
             ),
             exc,
         )
+    if query_span is not None:
+        query_span.finish()
     return (
         QueryResult(
             spec=plan.spec,
@@ -124,10 +202,11 @@ def _execute_one(
 
 
 def execute_plan(
-    plan: QueryPlan, cache: IndexCache, raise_on_error: bool = True
+    plan: QueryPlan, cache: IndexCache, raise_on_error: bool = True,
+    trace: Optional[ExecTrace] = None,
 ) -> QueryResult:
     """Run a single plan; capture failures when ``raise_on_error`` is off."""
-    result, exc = _execute_one(plan, cache)
+    result, exc = _execute_one(plan, cache, trace)
     if exc is not None and raise_on_error:
         raise exc
     return result

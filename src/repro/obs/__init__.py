@@ -3,8 +3,12 @@
 ``repro.obs.metrics`` defines the instruments and the registry each
 front end owns; ``repro.obs.expofmt`` reads scrapes back (the router's
 worker re-export, the benches' before/after diffs, the conformance
-test).  See ``docs/metrics.md`` for the reference of every exported
-metric family.
+test).  ``repro.obs.trace`` + ``repro.obs.tracestore`` are the
+distributed-tracing layer: span recording, ``traceparent``-style
+propagation between tiers, and bounded per-process trace retention
+with a slow-query log.  See ``docs/metrics.md`` for the reference of
+every exported metric family and ``docs/tracing.md`` for the span
+catalog.
 """
 
 from .metrics import (
@@ -20,6 +24,26 @@ from .metrics import (
     escape_label_value,
     format_value,
     render_families,
+)
+from .trace import (
+    TRACEPARENT_HEADER,
+    ExecTrace,
+    Span,
+    SpanHandle,
+    TraceContext,
+    TraceRecorder,
+    format_traceparent,
+    format_waterfall,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    span_tree,
+)
+from .tracestore import (
+    DEFAULT_SLOW_QUERY_MS,
+    DEFAULT_TRACE_CAPACITY,
+    DEFAULT_TRACE_SAMPLE,
+    TraceStore,
 )
 from .expofmt import (
     ExpositionError,
@@ -46,6 +70,22 @@ __all__ = [
     "escape_label_value",
     "format_value",
     "render_families",
+    "TRACEPARENT_HEADER",
+    "ExecTrace",
+    "Span",
+    "SpanHandle",
+    "TraceContext",
+    "TraceRecorder",
+    "TraceStore",
+    "DEFAULT_SLOW_QUERY_MS",
+    "DEFAULT_TRACE_CAPACITY",
+    "DEFAULT_TRACE_SAMPLE",
+    "format_traceparent",
+    "format_waterfall",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
+    "span_tree",
     "ExpositionError",
     "HistogramSnapshot",
     "counter_value",

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Any, Mapping, Optional, Sequence
 
+from ..obs.tracestore import DEFAULT_SLOW_QUERY_MS, DEFAULT_TRACE_SAMPLE
 from ..serve.server import ServerHandle, start_app_thread
 from .manifest import ManifestEntry, PlacementManifest
 from .placement import WorkerCandidate, choose_worker, features_from_spec
@@ -64,6 +65,9 @@ def _build_router(
     probe_interval: float,
     serve_args: Sequence[str],
     datasets: Optional[Mapping[str, Any]],
+    trace_sample: float = DEFAULT_TRACE_SAMPLE,
+    slow_query_ms: float = DEFAULT_SLOW_QUERY_MS,
+    tracing: bool = True,
 ) -> RouterApp:
     """Spawn the worker fleet and restore state; blocking."""
     manifest = PlacementManifest(manifest_path)
@@ -76,7 +80,13 @@ def _build_router(
     )
     pool.start()
     try:
-        app = RouterApp(pool, manifest=manifest)
+        app = RouterApp(
+            pool,
+            manifest=manifest,
+            trace_sample=trace_sample,
+            slow_query_ms=slow_query_ms,
+            tracing=tracing,
+        )
         # A persisted manifest restores the previous layout before the
         # router takes traffic; CLI --dataset entries register after,
         # so an explicit boot dataset wins over a stale manifest row.
@@ -99,6 +109,8 @@ def run_router(
     serve_args: Sequence[str] = (),
     datasets: Optional[Mapping[str, Any]] = None,
     announce=None,
+    trace_sample: float = DEFAULT_TRACE_SAMPLE,
+    slow_query_ms: float = DEFAULT_SLOW_QUERY_MS,
 ) -> None:
     """Blocking entry point for ``python -m repro route``."""
     import asyncio
@@ -106,6 +118,7 @@ def run_router(
     app = _build_router(
         workers, worker_backends, manifest_path, probe_interval,
         serve_args, datasets,
+        trace_sample=trace_sample, slow_query_ms=slow_query_ms,
     )
     on_bound = None
     if announce is not None:
@@ -126,6 +139,9 @@ def start_router_thread(
     serve_args: Sequence[str] = (),
     datasets: Optional[Mapping[str, Any]] = None,
     boot_timeout: float = 30.0,
+    trace_sample: float = DEFAULT_TRACE_SAMPLE,
+    slow_query_ms: float = DEFAULT_SLOW_QUERY_MS,
+    tracing: bool = True,
 ) -> ServerHandle:
     """Start a router (plus its worker fleet) on a daemon thread.
 
@@ -137,6 +153,8 @@ def start_router_thread(
     app = _build_router(
         workers, worker_backends, manifest_path, probe_interval,
         serve_args, datasets,
+        trace_sample=trace_sample, slow_query_ms=slow_query_ms,
+        tracing=tracing,
     )
     try:
         return start_app_thread(

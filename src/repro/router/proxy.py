@@ -62,6 +62,8 @@ from ..backends import default_registry
 from ..backends.cost import CostModel
 from ..errors import ValidationError
 from ..obs import ExpositionError, parse_exposition, relabel, render_merged
+from ..obs.trace import TRACEPARENT_HEADER, format_traceparent
+from ..obs.tracestore import DEFAULT_SLOW_QUERY_MS, DEFAULT_TRACE_SAMPLE
 from ..serve.http import (
     ProtocolError,
     Request,
@@ -108,6 +110,8 @@ _UPSTREAM_ERRORS = (
 class RouterApp(AsyncApp):
     """Route client requests onto the worker pool."""
 
+    tier = "router"
+
     def __init__(
         self,
         pool: WorkerPool,
@@ -116,11 +120,17 @@ class RouterApp(AsyncApp):
         idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
         max_requests_per_connection: int = DEFAULT_MAX_REQUESTS_PER_CONNECTION,
         drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+        trace_sample: float = DEFAULT_TRACE_SAMPLE,
+        slow_query_ms: float = DEFAULT_SLOW_QUERY_MS,
+        tracing: bool = True,
     ) -> None:
         super().__init__(
             idle_timeout=idle_timeout,
             max_requests_per_connection=max_requests_per_connection,
             drain_timeout=drain_timeout,
+            trace_sample=trace_sample,
+            slow_query_ms=slow_query_ms,
+            tracing=tracing,
         )
         self.pool = pool
         self.manifest = manifest if manifest is not None else pool.manifest
@@ -531,6 +541,10 @@ class RouterApp(AsyncApp):
                 await self._handle_unregister(request, writer, state)
         elif route == ("POST", "/query"):
             await self._handle_query(request, writer, state)
+        elif request.path == "/debug/traces" or request.path.startswith(
+            "/debug/traces/"
+        ):
+            await self._handle_debug_traces(request, writer, state)
         elif route == ("GET", "/metrics"):
             await self._respond_metrics(writer, state)
         elif route == ("POST", "/shutdown"):
@@ -547,13 +561,70 @@ class RouterApp(AsyncApp):
     def _route_label(self, request: Request) -> str:
         if request.path in (
             "/health", "/stats", "/metrics", "/datasets", "/query", "/shutdown",
+            "/debug/traces",
         ):
             return request.path
+        if request.path.startswith("/debug/traces/"):
+            return "/debug/traces/{id}"
         if request.path.startswith("/datasets/"):
             if request.path.endswith("/events"):
                 return "/datasets/{name}/events"
             return "/datasets/{name}"
         return "other"
+
+    async def _trace_document(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        """One stitched cross-process span tree for ``trace_id``.
+
+        The router's own spans (root + proxy) are merged with the span
+        sets of every running worker that retained the trace — the same
+        fan-out machinery as the fleet ``/metrics`` scrape.  Worker
+        spans were created from the forwarded ``traceparent``, so their
+        subtree roots parent directly onto the router's proxy span and
+        the merged list is a single tree.  Each process samples
+        independently, so a partial answer (worker kept it, router
+        evicted it, or vice versa) still renders.
+        """
+        own = self.trace_store.get(trace_id) if self.trace_store else None
+        spans = list(own["spans"]) if own else []
+
+        async def fetch(slot: str):
+            status = self.pool.status(slot)
+            if not status.running:
+                return None
+            try:
+                code, doc = await self._roundtrip(
+                    status, "GET",
+                    f"/debug/traces/{quote(trace_id, safe='')}",
+                    timeout=STATS_TIMEOUT,
+                )
+            except UnavailableError:
+                return None
+            if code != 200 or not isinstance(doc, dict):
+                return None
+            return slot, doc
+
+        fetched = await asyncio.gather(
+            *(fetch(slot) for slot in self.pool.slots())
+        )
+        workers = []
+        for item in fetched:
+            if item is None:
+                continue
+            slot, doc = item
+            workers.append(slot)
+            for span in doc.get("spans", ()):
+                span = dict(span)
+                attrs = dict(span.get("attrs") or {})
+                attrs.setdefault("worker", slot)
+                span["attrs"] = attrs
+                spans.append(span)
+        if not spans:
+            return None
+        base: Dict[str, Any] = dict(own) if own else {"trace_id": trace_id}
+        base["spans"] = spans
+        base["stitched"] = True
+        base["workers"] = workers
+        return base
 
     async def _metrics_text(self) -> str:
         """One scrape for the whole fleet.
@@ -755,14 +826,37 @@ class RouterApp(AsyncApp):
         if not isinstance(name, str):
             raise ProtocolError(400, "query body needs a 'dataset' name")
         slot, status = self._worker_for(name)
+        proxy_span = None
+        if state.trace is not None and state.root_span is not None:
+            state.root_span.set_attr("dataset", name)
+            proxy_span = state.trace.start_span(
+                "router.proxy",
+                parent_id=state.root_span.span_id,
+                attrs={"worker": slot, "dataset": name},
+            )
         # Tenant identity rides along untouched: the owning worker is
         # the enforcement point for shares and quotas.
+        forward: Dict[str, str] = {}
         api_key = request.headers.get("x-api-key")
-        forward = {"X-API-Key": api_key} if api_key is not None else None
-        code, up_headers, up_reader, up_writer = await self._upstream_request(
-            status, "POST", "/query", request.body, UPSTREAM_TIMEOUT,
-            headers=forward,
-        )
+        if api_key is not None:
+            forward["X-API-Key"] = api_key
+        if proxy_span is not None:
+            # Propagate the context on the upstream socket: the worker
+            # continues this trace with the proxy span as its parent,
+            # which is what lets /debug/traces/<id> stitch one tree.
+            forward[TRACEPARENT_HEADER] = format_traceparent(
+                proxy_span.trace_id, proxy_span.span_id
+            )
+        try:
+            code, up_headers, up_reader, up_writer = await self._upstream_request(
+                status, "POST", "/query", request.body, UPSTREAM_TIMEOUT,
+                headers=forward or None,
+            )
+        except UnavailableError as exc:
+            if proxy_span is not None:
+                proxy_span.set_error(str(exc))
+                proxy_span.finish()
+            raise
 
         if up_headers.get("transfer-encoding", "").lower() != "chunked":
             # Non-streaming answer (400/404/429/…): relay it whole.
@@ -776,6 +870,11 @@ class RouterApp(AsyncApp):
             extra = {}
             if code in (429, 503) and "retry-after" in up_headers:
                 extra["Retry-After"] = up_headers["retry-after"]
+            if proxy_span is not None:
+                proxy_span.set_attr("status", code)
+                if code >= 400:
+                    proxy_span.set_error(f"HTTP {code}")
+                proxy_span.finish()
             await self._respond(
                 writer, state, code, payload, extra_headers=extra or None
             )
@@ -797,9 +896,13 @@ class RouterApp(AsyncApp):
         try:
             complete, relayed = await self._relay_chunks(up_reader, writer, chunked)
             self._m_relay_bytes.labels(worker=slot).inc(relayed)
+            if proxy_span is not None:
+                proxy_span.set_attr("relayed_bytes", relayed)
             if complete:
                 if chunked:
                     await end_chunked(writer)
+                if proxy_span is not None:
+                    proxy_span.finish()
                 # Honour the worker's own close decision (e.g. its
                 # per-connection request cap) — pooling a closing
                 # socket would burn the stale-socket retry next time.
@@ -813,16 +916,25 @@ class RouterApp(AsyncApp):
                 # the same contract as a direct serve crash — and this
                 # connection can't carry another response.
                 state.broken = True
+                if proxy_span is not None:
+                    proxy_span.set_error("worker stream truncated")
+                    proxy_span.finish()
                 up_writer.close()
         except asyncio.CancelledError:
             state.broken = True
+            if proxy_span is not None:
+                proxy_span.set_error("relay cancelled")
+                proxy_span.finish()
             up_writer.close()
             writer.close()
             raise
-        except Exception:
+        except Exception as exc:
             # Client-side write failure mid-stream: stop writing, drop
             # both sockets (the upstream body position is unknowable).
             state.broken = True
+            if proxy_span is not None:
+                proxy_span.set_error(f"{type(exc).__name__}: {exc}")
+                proxy_span.finish()
             up_writer.close()
 
     @staticmethod

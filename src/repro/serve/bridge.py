@@ -20,11 +20,13 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional
 
 from ..engine import QueryPlan, QueryResult
 from ..engine.executor import execute_plan
 from ..errors import ReproError, ValidationError
+from ..obs.trace import ExecTrace, TraceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .registry import DatasetShard
@@ -152,6 +154,8 @@ def submit_plans(
     shard: "DatasetShard",
     plans: List[QueryPlan],
     tenant: Optional[str] = None,
+    recorder: Optional[TraceRecorder] = None,
+    parent_span_id: Optional[str] = None,
 ) -> "List[asyncio.Future[QueryResult]]":
     """Admit a batch and schedule every plan on the shard's executor.
 
@@ -161,6 +165,12 @@ def submit_plans(
     or ``tenant``'s fair share).  Each returned future releases its
     admission slot and bumps the shard's counters from a done-callback,
     whether or not the caller is still around to await it.
+
+    When ``recorder`` is set, each plan carries an
+    :class:`~repro.obs.trace.ExecTrace` into the executor — explicit,
+    because contextvars do not follow ``run_in_executor`` — stamped
+    with the submission instant so the engine can report the plan's
+    queue wait as a span under ``parent_span_id``.
     """
     n = len(plans)
     denied = shard.admission.acquire_for(tenant, n)
@@ -178,10 +188,19 @@ def submit_plans(
         )
     loop = asyncio.get_running_loop()
     futures: "List[asyncio.Future[QueryResult]]" = []
-    for plan in plans:
+    for index, plan in enumerate(plans):
+        trace: Optional[ExecTrace] = None
+        if recorder is not None and parent_span_id is not None:
+            trace = ExecTrace(
+                recorder=recorder,
+                parent_id=parent_span_id,
+                index=index,
+                submitted_wall=time.time(),
+                submitted_perf=time.perf_counter(),
+            )
         try:
             future = loop.run_in_executor(
-                shard.executor, execute_plan, plan, shard.cache, False
+                shard.executor, execute_plan, plan, shard.cache, False, trace
             )
         except RuntimeError:
             # Executor already shut down (server stopping): give back the

@@ -1,10 +1,16 @@
 """Stdlib HTTP client plumbing for the serve/route front ends.
 
-Shared by the ``repro append`` CLI subcommand and the examples
-(``examples/serve_client.py``, ``examples/streaming_monitor.py``): one
-keep-alive :class:`http.client.HTTPConnection` carries JSON round
-trips and raw NDJSON bodies alike, against either a single ``repro
-serve`` process or the routing tier (the protocol is identical).
+Shared by the ``repro append`` and ``repro trace`` CLI subcommands and
+the examples (``examples/serve_client.py``,
+``examples/streaming_monitor.py``): one keep-alive
+:class:`http.client.HTTPConnection` carries JSON round trips and raw
+NDJSON bodies alike, against either a single ``repro serve`` process
+or the routing tier (the protocol is identical).
+
+Every query envelope line (batch-start, per-query result, batch-end)
+and every error body carries a ``trace_id``; :func:`fetch_trace` turns
+one back into its full span tree via ``GET /debug/traces/<id>`` —
+stitched across processes when a router answers.
 """
 
 from __future__ import annotations
@@ -12,12 +18,14 @@ from __future__ import annotations
 import http.client
 import json
 from typing import Any, Optional, Tuple
-from urllib.parse import quote
+from urllib.parse import quote, urlencode
 
 __all__ = [
     "append_events",
     "connect",
     "events_path",
+    "fetch_trace",
+    "fetch_traces",
     "probe",
     "request",
     "request_raw",
@@ -96,6 +104,58 @@ def append_events(
     an unparsable body.
     """
     status, raw = request_raw(conn, "POST", events_path(name), batch)
+    try:
+        doc = json.loads(raw) if raw else {}
+    except json.JSONDecodeError:
+        doc = {"error": raw.decode("utf-8", "replace")}
+    return status, doc
+
+
+def fetch_trace(
+    conn: http.client.HTTPConnection, trace_id: str
+) -> Tuple[int, Any]:
+    """``GET /debug/traces/<id>`` → ``(status, trace document)``.
+
+    The document is ``{"trace_id", "spans": [...], ...}`` — render it
+    with :func:`repro.obs.format_waterfall`.  Against a router the
+    spans are stitched across the proxy and the owning worker.  404
+    means the id was never stored (sampled out, evicted, or unknown).
+    """
+    status, raw = request(
+        conn, "GET", f"/debug/traces/{quote(trace_id, safe='')}"
+    )
+    try:
+        doc = json.loads(raw) if raw else {}
+    except json.JSONDecodeError:
+        doc = {"error": raw.decode("utf-8", "replace")}
+    return status, doc
+
+
+def fetch_traces(
+    conn: http.client.HTTPConnection,
+    min_duration_ms: Optional[float] = None,
+    limit: Optional[int] = None,
+    dataset: Optional[str] = None,
+    route: Optional[str] = None,
+) -> Tuple[int, Any]:
+    """``GET /debug/traces`` listing → ``(status, {"traces": [...]})``.
+
+    Summaries come back newest-first; pass ``min_duration_ms`` to keep
+    only slow requests (the triage entry point for a latency incident).
+    """
+    params = {}
+    if min_duration_ms is not None:
+        params["min_ms"] = f"{min_duration_ms:g}"
+    if limit is not None:
+        params["limit"] = str(limit)
+    if dataset is not None:
+        params["dataset"] = dataset
+    if route is not None:
+        params["route"] = route
+    path = "/debug/traces"
+    if params:
+        path += "?" + urlencode(params)
+    status, raw = request(conn, "GET", path)
     try:
         doc = json.loads(raw) if raw else {}
     except json.JSONDecodeError:

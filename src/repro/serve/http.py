@@ -90,6 +90,8 @@ class Request:
     headers: Dict[str, str] = field(default_factory=dict)
     body: bytes = b""
     version: str = "HTTP/1.1"
+    #: Raw query string (no leading ``?``); empty when the target had none.
+    query: str = ""
 
     def json(self) -> Any:
         """Decode the body as JSON (``{}`` for an empty body)."""
@@ -138,7 +140,7 @@ async def read_request(
     if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
         raise ProtocolError(400, f"malformed request line: {lines[0]!r}")
     method, target, version = parts
-    path = target.split("?", 1)[0]
+    path, _, query = target.partition("?")
 
     headers: Dict[str, str] = {}
     for line in lines[1:]:
@@ -188,7 +190,7 @@ async def read_request(
             raise ProtocolError(400, "timed out receiving the request body") from exc
     return Request(
         method=method.upper(), path=path, headers=headers, body=body,
-        version=version.upper(),
+        version=version.upper(), query=query,
     )
 
 

@@ -65,7 +65,7 @@ import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Mapping, Optional
-from urllib.parse import unquote
+from urllib.parse import parse_qs, unquote
 
 from ..engine.planner import plan_batch
 from ..engine.results import QueryResult, record_to_dict
@@ -73,6 +73,12 @@ from ..engine.spec import QuerySpec, apply_default_backend
 from ..errors import ReproError, ValidationError
 from ..obs import CONTENT_TYPE as METRICS_CONTENT_TYPE
 from ..obs import MetricsRegistry
+from ..obs.trace import TRACEPARENT_HEADER, SpanHandle, TraceRecorder, parse_traceparent
+from ..obs.tracestore import (
+    DEFAULT_SLOW_QUERY_MS,
+    DEFAULT_TRACE_SAMPLE,
+    TraceStore,
+)
 from .bridge import OverloadedError, submit_plans
 from .http import (
     MAX_HEADER_BYTES,
@@ -159,6 +165,12 @@ class ConnectionState:
     #: :meth:`AsyncApp._respond` and the streaming paths); feeds the
     #: ``status`` label of ``http_requests_total``.
     status: Optional[int] = None
+    #: Per-request span collector (``None`` on untraced routes or when
+    #: tracing is disabled) and the request's root span — dispatch code
+    #: hangs child spans off the root, and 4xx/5xx bodies echo
+    #: ``trace.trace_id`` so client-visible failures are findable.
+    trace: Optional[TraceRecorder] = None
+    root_span: Optional[SpanHandle] = None
 
     def response_headers(self) -> Dict[str, str]:
         """The negotiated ``Keep-Alive`` advertisement, when applicable."""
@@ -179,11 +191,24 @@ class AsyncApp:
     pool of worker processes.
     """
 
+    #: Tier name prefixing root span names (``serve.request`` /
+    #: ``router.request``); subclasses override.
+    tier = "serve"
+
+    #: Routes that never open a trace: high-frequency probes/scrapes
+    #: (the router polls worker ``/health`` twice a second — tracing
+    #: them would churn every ring buffer) and the trace endpoints
+    #: themselves.
+    UNTRACED_ROUTES = ("/health", "/metrics")
+
     def __init__(
         self,
         idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
         max_requests_per_connection: int = DEFAULT_MAX_REQUESTS_PER_CONNECTION,
         drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+        trace_sample: float = DEFAULT_TRACE_SAMPLE,
+        slow_query_ms: float = DEFAULT_SLOW_QUERY_MS,
+        tracing: bool = True,
     ) -> None:
         if idle_timeout <= 0:
             raise ValidationError(
@@ -247,6 +272,44 @@ class AsyncApp:
             "Requests served on an already-open connection.",
             lambda: [({}, self.keepalive_reuses)],
         )
+        #: Per-process trace retention; ``None`` when tracing is off
+        #: (the bench's untraced baseline) — no recorder is created and
+        #: the request path pays only a ``None`` check.
+        self.trace_store: Optional[TraceStore] = (
+            TraceStore(sample=trace_sample, slow_ms=slow_query_ms)
+            if tracing else None
+        )
+        # Families are registered whether or not tracing is enabled so
+        # the exported name set is constant (docs-sync check).
+        self.metrics.callback(
+            "trace_stored_total", "counter",
+            "Finished traces retained in this process's ring buffer.",
+            lambda: [({}, self.trace_store.stored_total
+                      if self.trace_store else 0)],
+        )
+        self.metrics.callback(
+            "trace_sampled_out_total", "counter",
+            "Fast, successful traces dropped by head sampling.",
+            lambda: [({}, self.trace_store.sampled_out_total
+                      if self.trace_store else 0)],
+        )
+        self.metrics.callback(
+            "trace_evicted_total", "counter",
+            "Stored traces evicted by the ring-buffer capacity bound.",
+            lambda: [({}, self.trace_store.evicted_total
+                      if self.trace_store else 0)],
+        )
+        self.metrics.callback(
+            "trace_resident", "gauge",
+            "Traces currently held in the ring buffer.",
+            lambda: [({}, len(self.trace_store) if self.trace_store else 0)],
+        )
+        self.metrics.callback(
+            "slow_queries_total", "counter",
+            "Requests over --slow-query-ms logged to the slow-query log.",
+            lambda: [({}, self.trace_store.slow_queries_total
+                      if self.trace_store else 0)],
+        )
 
     # ------------------------------------------------------------------
     async def handle_connection(
@@ -308,6 +371,22 @@ class AsyncApp:
                     )
                 if task is not None:
                     self._conn_busy[task] = True
+                if self.trace_store is not None and not self._untraced(request):
+                    # Continue a propagated context (the router's, or a
+                    # tracing client's) or open a fresh trace; the root
+                    # span covers the whole dispatch.
+                    ctx = parse_traceparent(
+                        request.headers.get(TRACEPARENT_HEADER)
+                    )
+                    state.trace = TraceRecorder(
+                        trace_id=ctx.trace_id if ctx else None,
+                        parent_id=ctx.span_id if ctx else None,
+                    )
+                    state.root_span = state.trace.start_span(
+                        f"{self.tier}.request",
+                        parent_id=ctx.span_id if ctx else None,
+                        attrs={"method": request.method},
+                    )
                 dispatch_t0 = time.perf_counter()
                 try:
                     await self._dispatch(request, writer, state)
@@ -351,6 +430,7 @@ class AsyncApp:
                     self._m_request_seconds.labels(route=route).observe(
                         time.perf_counter() - dispatch_t0
                     )
+                    self._finish_trace(state, route)
                 if state.broken or not state.keep_alive:
                     break
         except (ConnectionError, asyncio.TimeoutError):
@@ -373,13 +453,126 @@ class AsyncApp:
         payload: Any,
         extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
-        """One complete JSON response with the negotiated framing headers."""
+        """One complete JSON response with the negotiated framing headers.
+
+        Error replies (4xx/5xx) carry the request's ``trace_id`` so a
+        client-visible failure can be looked up in the trace store —
+        the correlation id the batch error bodies used to lack.
+        """
         state.status = status
+        if (
+            status >= 400
+            and state.trace is not None
+            and isinstance(payload, dict)
+            and "trace_id" not in payload
+        ):
+            payload = {**payload, "trace_id": state.trace.trace_id}
+            if state.root_span is not None:
+                state.root_span.set_error(str(payload.get("error", "")))
         headers = {**state.response_headers(), **(extra_headers or {})}
         await send_json(
             writer, status, payload,
             extra_headers=headers, close=not state.keep_alive,
         )
+
+    # ------------------------------------------------------------------
+    def _untraced(self, request: Request) -> bool:
+        return (
+            request.path in self.UNTRACED_ROUTES
+            or request.path.startswith("/debug/traces")
+        )
+
+    def _finish_trace(self, state: ConnectionState, route: str) -> None:
+        """Close the request's root span and offer the trace for retention."""
+        if state.trace is None or state.root_span is None:
+            return
+        root = state.root_span
+        root.set_attr("route", route)
+        if state.status is not None:
+            root.set_attr("status", state.status)
+            if state.status >= 400 and root.span.status == "ok":
+                root.set_error(f"HTTP {state.status}")
+        if state.broken and root.span.status == "ok":
+            # A truncated stream (peer gone, worker killed mid-relay)
+            # is an error outcome even though the status line said 200.
+            root.set_error("response stream truncated")
+        span = root.finish()
+        assert self.trace_store is not None  # guarded at creation
+        self.trace_store.offer(
+            state.trace,
+            route=route,
+            status=span.status,
+            duration_ms=span.duration * 1000.0,
+            attrs={
+                "dataset": span.attrs.get("dataset"),
+                "tenant": span.attrs.get("tenant"),
+                "template": span.attrs.get("template"),
+            },
+        )
+
+    async def _handle_debug_traces(
+        self, request: Request, writer: asyncio.StreamWriter,
+        state: ConnectionState,
+    ) -> None:
+        """``GET /debug/traces`` (recent, filterable) and
+        ``GET /debug/traces/<id>`` (full span tree) on either tier."""
+        if request.method != "GET":
+            raise ProtocolError(
+                405, f"{request.method} not allowed on {request.path}"
+            )
+        if self.trace_store is None:
+            raise UnavailableError("tracing is disabled on this process")
+        if request.path == "/debug/traces":
+            params = parse_qs(request.query)
+
+            def _one(key: str) -> Optional[str]:
+                values = params.get(key)
+                return values[-1] if values else None
+
+            min_ms: Optional[float] = None
+            raw_min = _one("min_ms") or _one("min_duration_ms")
+            if raw_min is not None:
+                try:
+                    min_ms = float(raw_min)
+                except ValueError:
+                    raise ProtocolError(400, f"bad min_ms value: {raw_min!r}")
+            limit = 50
+            raw_limit = _one("limit")
+            if raw_limit is not None:
+                try:
+                    limit = max(1, min(500, int(raw_limit)))
+                except ValueError:
+                    raise ProtocolError(400, f"bad limit value: {raw_limit!r}")
+            traces = self.trace_store.recent(
+                limit=limit,
+                min_duration_ms=min_ms,
+                dataset=_one("dataset"),
+                route=_one("route"),
+            )
+            await self._respond(
+                writer, state, 200,
+                {"traces": traces, "store": self.trace_store.stats()},
+            )
+            return
+        trace_id = unquote(request.path[len("/debug/traces/"):])
+        if not trace_id:
+            raise ProtocolError(404, "no route for '/debug/traces/'")
+        doc = await self._trace_document(trace_id)
+        if doc is None:
+            await self._respond(
+                writer, state, 404,
+                {"error": f"unknown trace {trace_id!r} (evicted, sampled "
+                          "out, or never seen by this process)"},
+            )
+            return
+        await self._respond(writer, state, 200, doc)
+
+    async def _trace_document(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        """Full trace document for one id (router overrides to stitch in
+        the owning worker's spans)."""
+        if self.trace_store is None:
+            return None
+        return self.trace_store.get(trace_id)
 
     async def _dispatch(
         self, request: Request, writer: asyncio.StreamWriter, state: ConnectionState
@@ -535,11 +728,17 @@ class ServeApp(AsyncApp):
         drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
         default_backend: Optional[str] = None,
         tenants: Optional[TenantTable] = None,
+        trace_sample: float = DEFAULT_TRACE_SAMPLE,
+        slow_query_ms: float = DEFAULT_SLOW_QUERY_MS,
+        tracing: bool = True,
     ) -> None:
         super().__init__(
             idle_timeout=idle_timeout,
             max_requests_per_connection=max_requests_per_connection,
             drain_timeout=drain_timeout,
+            trace_sample=trace_sample,
+            slow_query_ms=slow_query_ms,
+            tracing=tracing,
         )
         self.registry = registry if registry is not None else DatasetRegistry(
             max_entries=max_entries,
@@ -639,6 +838,10 @@ class ServeApp(AsyncApp):
                 await self._handle_unregister(request, writer, state)
         elif route == ("POST", "/query"):
             await self._handle_query(request, writer, state)
+        elif request.path == "/debug/traces" or request.path.startswith(
+            "/debug/traces/"
+        ):
+            await self._handle_debug_traces(request, writer, state)
         elif route == ("POST", "/shutdown"):
             state.keep_alive = False
             await self._respond(writer, state, 200, {"ok": True, "stopping": True})
@@ -653,8 +856,11 @@ class ServeApp(AsyncApp):
     def _route_label(self, request: Request) -> str:
         if request.path in (
             "/health", "/stats", "/metrics", "/datasets", "/query", "/shutdown",
+            "/debug/traces",
         ):
             return request.path
+        if request.path.startswith("/debug/traces/"):
+            return "/debug/traces/{id}"
         if request.path.startswith("/datasets/"):
             if request.path.endswith("/events"):
                 return "/datasets/{name}/events"
@@ -763,16 +969,37 @@ class ServeApp(AsyncApp):
 
         tenant = self._resolve_tenant(request)  # may raise AuthError → 401
         shard = self.registry.get(name)
+        root = state.root_span
+        if root is not None:
+            root.set_attr("dataset", name)
+            if tenant is not None:
+                root.set_attr("tenant", tenant.name)
         # Per-dataset default backend; precedence rules (explicit wins,
         # kind-aware) live in one place: engine.spec.apply_default_backend.
         queries = apply_default_backend(queries, shard.default_backend)
-        specs = []
-        for i, q in enumerate(queries):
-            try:
-                specs.append(QuerySpec.from_dict(q))
-            except ValidationError as exc:
-                raise ValidationError(f"query #{i}: {exc}") from exc
-        plans = plan_batch(specs, shard.tps)
+        plan_span = None
+        if state.trace is not None and root is not None:
+            plan_span = state.trace.start_span(
+                "serve.plan", parent_id=root.span_id,
+                attrs={"queries": len(queries)},
+            )
+        try:
+            specs = []
+            for i, q in enumerate(queries):
+                try:
+                    specs.append(QuerySpec.from_dict(q))
+                except ValidationError as exc:
+                    raise ValidationError(f"query #{i}: {exc}") from exc
+            plans = plan_batch(specs, shard.tps)
+        except ValidationError as exc:
+            if plan_span is not None:
+                plan_span.set_error(str(exc))
+                plan_span.finish()
+            raise
+        if plan_span is not None:
+            plan_span.finish()
+        if root is not None and plans:
+            root.set_attr("template", plans[0].template or plans[0].spec.kind)
         if tenant is not None:
             # Quota before admission: a breach must not consume queue
             # slots.  check_and_consume only commits on success, so a
@@ -792,7 +1019,9 @@ class ServeApp(AsyncApp):
         try:
             # May raise OverloadedError → 429 (shard limit or fair share).
             futures = submit_plans(
-                shard, plans, tenant=tenant.name if tenant is not None else None
+                shard, plans, tenant=tenant.name if tenant is not None else None,
+                recorder=state.trace,
+                parent_span_id=root.span_id if root is not None else None,
             )
         except OverloadedError as exc:
             if tenant is not None:
@@ -817,32 +1046,37 @@ class ServeApp(AsyncApp):
             close=not state.keep_alive,
             chunked=chunked,
         )
-        streamed = await send_chunk(
-            writer,
-            {"type": "batch-start", "dataset": name, "queries": len(plans)},
-            chunked=chunked,
-        )
+        trace_id = state.trace.trace_id if state.trace is not None else None
+        start_line = {"type": "batch-start", "dataset": name, "queries": len(plans)}
+        if trace_id is not None:
+            start_line["trace_id"] = trace_id
+        streamed = await send_chunk(writer, start_line, chunked=chunked)
         n_errors = 0
         try:
             for i, future in enumerate(futures):
                 result = await future
                 if not result.ok:
                     n_errors += 1
-                for line in _result_lines(i, result, include_records):
+                for line in _result_lines(i, result, include_records,
+                                          trace_id=trace_id):
                     streamed += await send_chunk(writer, line, chunked=chunked)
-            streamed += await send_chunk(
-                writer,
-                {
-                    "type": "batch-end",
-                    "dataset": name,
-                    "queries": len(plans),
-                    "errors": n_errors,
-                    "ok": n_errors == 0,
-                    "wall_seconds": time.perf_counter() - t0,
-                    "cache": shard.cache.stats.snapshot().since(before).as_dict(),
-                },
-                chunked=chunked,
-            )
+            end_line = {
+                "type": "batch-end",
+                "dataset": name,
+                "queries": len(plans),
+                "errors": n_errors,
+                "ok": n_errors == 0,
+                "wall_seconds": time.perf_counter() - t0,
+                "cache": shard.cache.stats.snapshot().since(before).as_dict(),
+            }
+            if trace_id is not None:
+                end_line["trace_id"] = trace_id
+            streamed += await send_chunk(writer, end_line, chunked=chunked)
+            if n_errors and root is not None:
+                # Per-query failures stream inside a 200 body; the root
+                # span still records them so the trace is never sampled
+                # away and `status=error` is searchable.
+                root.set_error(f"{n_errors} of {len(plans)} queries failed")
             if chunked:
                 await end_chunked(writer)
         except asyncio.CancelledError:
@@ -883,8 +1117,14 @@ class ServeApp(AsyncApp):
         self.registry.close()
 
 
-def _result_lines(index: int, result: QueryResult, include_records: bool):
-    """The NDJSON lines one finished query contributes to the stream."""
+def _result_lines(index: int, result: QueryResult, include_records: bool,
+                  trace_id: Optional[str] = None):
+    """The NDJSON lines one finished query contributes to the stream.
+
+    Every ``result`` line — success or per-query error — carries the
+    request's ``trace_id`` so a client can correlate any line of the
+    envelope with the stored trace.
+    """
     if result.ok and include_records:
         for tau, records in result.records_by_tau.items():
             yield {
@@ -907,6 +1147,8 @@ def _result_lines(index: int, result: QueryResult, include_records: bool):
         "build_seconds": result.build_seconds,
         "query_seconds": result.query_seconds,
     }
+    if trace_id is not None:
+        line["trace_id"] = trace_id
     if result.stages:
         line["stages"] = [dict(s) for s in result.stages]
     yield line
@@ -926,6 +1168,8 @@ def run_server(
     default_backend: Optional[str] = None,
     datasets: Optional[Mapping[str, Mapping[str, Any]]] = None,
     api_keys: Optional[str] = None,
+    trace_sample: float = DEFAULT_TRACE_SAMPLE,
+    slow_query_ms: float = DEFAULT_SLOW_QUERY_MS,
     announce=None,
 ) -> None:
     """Blocking entry point for ``python -m repro serve``."""
@@ -939,6 +1183,8 @@ def run_server(
         drain_timeout=drain_timeout,
         default_backend=default_backend,
         tenants=TenantTable.from_file(api_keys) if api_keys else None,
+        trace_sample=trace_sample,
+        slow_query_ms=slow_query_ms,
     )
     for name, spec in (datasets or {}).items():
         app.registry.register(name, spec)
@@ -1023,6 +1269,9 @@ def start_server_thread(
     drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
     default_backend: Optional[str] = None,
     tenants: Optional[TenantTable] = None,
+    trace_sample: float = DEFAULT_TRACE_SAMPLE,
+    slow_query_ms: float = DEFAULT_SLOW_QUERY_MS,
+    tracing: bool = True,
     boot_timeout: float = 15.0,
 ) -> ServerHandle:
     """Start a server on a daemon thread; returns once it is listening."""
@@ -1036,5 +1285,8 @@ def start_server_thread(
         drain_timeout=drain_timeout,
         default_backend=default_backend,
         tenants=tenants,
+        trace_sample=trace_sample,
+        slow_query_ms=slow_query_ms,
+        tracing=tracing,
     )
     return start_app_thread(app, host, port, boot_timeout=boot_timeout)

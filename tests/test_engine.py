@@ -244,11 +244,12 @@ class TestIndexCache:
 
     def test_hit_miss_accounting(self):
         cache = IndexCache()
-        obj, hit, build_s = cache.get_or_build(self.KEY, lambda: object())
+        obj, hit, build_s, source = cache.get_or_build(self.KEY, lambda: object())
         assert not hit and cache.stats.misses == 1 and cache.stats.builds == 1
-        assert build_s >= 0.0
-        again, hit, _ = cache.get_or_build(self.KEY, lambda: object())
+        assert build_s >= 0.0 and source == "build"
+        again, hit, _, source = cache.get_or_build(self.KEY, lambda: object())
         assert hit and again is obj and cache.stats.hits == 1
+        assert source == "hit"
 
     def test_failed_build_is_not_cached(self):
         cache = IndexCache()
@@ -259,7 +260,7 @@ class TestIndexCache:
         with pytest.raises(RuntimeError):
             cache.get_or_build(self.KEY, boom)
         assert self.KEY not in cache
-        obj, hit, _ = cache.get_or_build(self.KEY, lambda: "ok")
+        obj, hit, _, _source = cache.get_or_build(self.KEY, lambda: "ok")
         assert obj == "ok" and not hit
 
     def test_lru_eviction(self):

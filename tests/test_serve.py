@@ -303,7 +303,7 @@ class TestFaultStreaming:
         import repro.serve.bridge as bridge_mod
         from repro.engine.executor import execute_plan as real_execute
 
-        def poisoned_execute(plan, cache, raise_on_error=True):
+        def poisoned_execute(plan, cache, raise_on_error=True, trace=None):
             if plan.spec.label == "poison":
                 return QueryResult(
                     spec=plan.spec,
@@ -314,7 +314,7 @@ class TestFaultStreaming:
                     query_seconds=0.0,
                     error="RuntimeError: poisoned",
                 )
-            return real_execute(plan, cache, raise_on_error)
+            return real_execute(plan, cache, raise_on_error, trace=trace)
 
         monkeypatch.setattr(bridge_mod, "execute_plan", poisoned_execute)
         status, lines = request_ndjson(

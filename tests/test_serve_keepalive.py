@@ -395,9 +395,9 @@ class TestShutdownDrain:
         import repro.serve.bridge as bridge_mod
         from repro.engine.executor import execute_plan as real_execute
 
-        def slow_execute(plan, cache, raise_on_error=True):
+        def slow_execute(plan, cache, raise_on_error=True, trace=None):
             time.sleep(0.4)
-            return real_execute(plan, cache, raise_on_error)
+            return real_execute(plan, cache, raise_on_error, trace=trace)
 
         handle = start_server_thread(queue_limit=8)
         try:
@@ -620,7 +620,7 @@ class TestCancelledMidStream:
             registry.register("d", random_tps(n=20, seed=1))
             app = ServeApp(registry=registry)
 
-            def never_finishing_submit(shard, plans, tenant=None):
+            def never_finishing_submit(shard, plans, tenant=None, **kwargs):
                 return [asyncio.get_running_loop().create_future()]
 
             monkeypatch.setattr(server_mod, "submit_plans", never_finishing_submit)
